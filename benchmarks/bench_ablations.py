@@ -1,0 +1,47 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    ablate_binding,
+    ablate_homing,
+    ablate_purge_anatomy,
+    ablate_replication,
+    ablate_routing,
+)
+
+
+def test_ablation_homing_policy(benchmark):
+    out = run_once(benchmark, ablate_homing, verbose=True)
+    benchmark.extra_info.update({k: round(v, 1) for k, v in out.items()})
+    assert out["local-cluster"] < out["hash-global"]
+
+
+def test_ablation_bidirectional_routing(benchmark):
+    out = run_once(benchmark, ablate_routing, rows=8, cols=8, verbose=True)
+    benchmark.extra_info.update(out)
+    assert out["bidirectional_escapes"] == 0
+    assert out["xy_only_escapes"] > 0
+
+
+def test_ablation_cluster_binding(benchmark, settings):
+    out = run_once(benchmark, ablate_binding, settings, verbose=True)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in out.items()})
+    assert out["optimal"] <= 1.02
+
+
+def test_ablation_purge_anatomy(benchmark, settings):
+    out = run_once(benchmark, ablate_purge_anatomy, settings, verbose=True)
+    for app, comps in out.items():
+        benchmark.extra_info[f"{app} total"] = comps["total"]
+    user = out["<PR, GRAPH>"]["total"]
+    os_ = out["<MEMCACHED, OS>"]["total"]
+    assert user > os_  # the dynamic (dirty-footprint) component
+
+
+def test_ablation_l2_replication(benchmark, settings):
+    out = run_once(benchmark, ablate_replication, settings, verbose=True)
+    benchmark.extra_info.update({k: int(v) for k, v in out.items()})
+    assert out["replication-on"] < out["replication-off"]

@@ -1,0 +1,93 @@
+"""Microbenchmarks for the substrate components (simulator throughput)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.address import VirtualMemory
+from repro.arch.cache import SetAssocCache
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.arch.mesh import MeshTopology
+from repro.arch.routing import route_for_cluster
+from repro.config import CacheConfig, SystemConfig
+from repro.secure.predictor import GradientHeuristicPredictor, OptimalPredictor
+from repro.workloads.aes import encrypt_block, expand_key
+from repro.workloads.graphs import RoadNetwork, pagerank, sssp
+
+
+def test_cache_access_throughput(benchmark):
+    cache = SetAssocCache(CacheConfig(16 * 1024, 8), "bench")
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 4096, size=20_000).tolist()
+
+    def work():
+        access = cache.access
+        for line in lines:
+            access(line, False)
+        return cache.stats.accesses
+
+    assert benchmark(work) > 0
+
+
+def test_trace_replay_throughput(benchmark):
+    config = SystemConfig.evaluation()
+    hier = MemoryHierarchy(config)
+    vm = VirtualMemory("p", hier.address_space, [0, 1])
+    ctx = ProcessContext(
+        "p", "secure", vm, cores=list(range(16)), slices=list(range(16)),
+        controllers=[0, 1],
+    )
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 1 << 20, size=30_000, dtype=np.int64)
+    writes = (rng.random(30_000) < 0.3).astype(np.int8)
+
+    def work():
+        return hier.run_trace(ctx, trace, writes).accesses
+
+    assert benchmark(work) == 30_000
+
+
+def test_routing_throughput(benchmark):
+    mesh = MeshTopology(8, 8, 4)
+    cluster = frozenset(range(24))
+    pairs = [(a, b) for a in range(0, 24, 3) for b in range(0, 24, 2)]
+
+    def work():
+        return sum(len(route_for_cluster(mesh, a, b, cluster)) for a, b in pairs)
+
+    assert benchmark(work) > 0
+
+
+def test_aes_block_throughput(benchmark):
+    round_keys = expand_key(bytes(range(32)))
+    block = bytes(range(16))
+
+    def work():
+        return encrypt_block(block, round_keys)
+
+    assert len(benchmark(work)) == 16
+
+
+def test_sssp_on_road_network(benchmark):
+    graph = RoadNetwork.california_like(n_nodes=1024, seed=2)
+    dist = benchmark(sssp, graph, 0)
+    assert np.isfinite(dist).all()
+
+
+def test_pagerank_on_road_network(benchmark):
+    graph = RoadNetwork.california_like(n_nodes=1024, seed=2)
+    rank = benchmark(pagerank, graph, 10)
+    assert rank.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_predictor_search_cost(benchmark):
+    evaluate = lambda n: (n - 37) ** 2 + 1000.0
+    candidates = list(range(1, 64))
+
+    def work():
+        h = GradientHeuristicPredictor().choose(evaluate, candidates)
+        o = OptimalPredictor().choose(evaluate, candidates)
+        return h.evaluations + o.evaluations
+
+    assert benchmark(work) > 0

@@ -1,0 +1,19 @@
+"""Figure 1(a): normalized geomean completion across all machines.
+
+Paper values: SGX ~1.33x, MI6 ~2.25x, IRONHIDE ~1.11x vs insecure.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig1 import PAPER_VALUES, run_fig1a
+
+
+def test_fig1a_overview(benchmark, settings):
+    result = run_once(benchmark, run_fig1a, settings, verbose=True)
+    for machine, value in result.items():
+        benchmark.extra_info[f"measured_{machine}"] = round(value, 3)
+        benchmark.extra_info[f"paper_{machine}"] = PAPER_VALUES[machine]
+    assert result["insecure"] < result["sgx"] < result["mi6"]
+    assert result["ironhide"] < result["mi6"]

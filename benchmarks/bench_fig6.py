@@ -1,0 +1,22 @@
+"""Figure 6: per-application completion times with overhead breakdown.
+
+Paper headlines: MI6/IRONHIDE ~2.1x geomean; IRONHIDE ~20% over SGX;
+user-level IRONHIDE ~8.7% worse than SGX; TC's secure cluster tiny.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_completion_times(benchmark, settings):
+    data = run_once(benchmark, run_fig6, settings, verbose=True)
+    benchmark.extra_info["mi6_over_ironhide"] = round(data.mi6_over_ironhide, 3)
+    benchmark.extra_info["ironhide_gain_over_sgx"] = round(data.ironhide_gain_over_sgx, 3)
+    for level in ("user", "os", "all"):
+        for machine, value in data.geomeans[level].items():
+            benchmark.extra_info[f"{level}_{machine}"] = round(value, 3)
+    assert data.mi6_over_ironhide > 1.5
+    assert data.ironhide_gain_over_sgx > 1.0

@@ -1,0 +1,23 @@
+"""Figure 7: private L1 and shared L2 miss rates, MI6 vs IRONHIDE.
+
+Paper: L1 improves up to ~5.9x; L2 up to ~2x with <TC, GRAPH> and
+<LIGHTTPD, OS> as the called-out exceptions.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_miss_rates(benchmark, settings):
+    data = run_once(benchmark, run_fig7, settings, verbose=True)
+    benchmark.extra_info["max_l1_improvement"] = round(data.max_l1_improvement, 2)
+    benchmark.extra_info["max_l2_improvement"] = round(data.max_l2_improvement, 2)
+    benchmark.extra_info["tc_l2"] = round(data.row("<TC, GRAPH>").l2_improvement, 2)
+    benchmark.extra_info["lighttpd_l2"] = round(
+        data.row("<LIGHTTPD, OS>").l2_improvement, 2
+    )
+    assert data.max_l1_improvement > 1.3
+    assert data.row("<LIGHTTPD, OS>").l2_improvement < 1.0  # the exception

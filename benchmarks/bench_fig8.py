@@ -1,0 +1,22 @@
+"""Figure 8: core re-allocation predictor decision variations.
+
+Paper: Heuristic ~2.1x over MI6, Optimal ~2.3x, ±x% variations degrade;
+the Heuristic sits within Optimal's ±5% band.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_predictor_variations(benchmark, settings):
+    data = run_once(
+        benchmark, run_fig8, settings, verbose=True, percents=(5, 25)
+    )
+    for variant, value in data.series.items():
+        benchmark.extra_info[variant] = round(value, 1)
+    assert data.heuristic_gain > 1.5
+    assert data.series["optimal"] <= data.series["heuristic"] * 1.05
+    assert data.series["+25%"] >= data.series["optimal"] * 0.98

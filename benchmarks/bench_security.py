@@ -1,0 +1,50 @@
+"""Security benches: attack outcomes across the isolation models."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+
+from repro.attacks import (
+    AttackEnvironment,
+    CacheCovertChannel,
+    NocTimingProbe,
+    PrimeProbeAttack,
+    SpectreAttack,
+)
+
+MODELS = ("sgx", "mi6", "ironhide")
+
+
+def _attack_sweep():
+    out = {}
+    for model in MODELS:
+        pp = PrimeProbeAttack(AttackEnvironment.build(model)).run(secret=21)
+        cc = CacheCovertChannel(AttackEnvironment.build(model)).transmit(
+            [1, 0, 1, 1, 0, 0, 1, 0] * 4
+        )
+        sp = SpectreAttack(AttackEnvironment.build(model)).run(secret=33)
+        noc = NocTimingProbe(AttackEnvironment.build(model)).run()
+        out[model] = {
+            "prime_probe_success": pp.success,
+            "covert_ber": round(cc.bit_error_rate, 3),
+            "spectre_leaked": sp.leaked,
+            "noc_observable": noc.observable,
+        }
+    return out
+
+
+def test_attack_matrix(benchmark):
+    out = run_once(benchmark, _attack_sweep)
+    for model, metrics in out.items():
+        for key, value in metrics.items():
+            benchmark.extra_info[f"{model}_{key}"] = value
+    # SGX leaks through every channel; strong isolation blocks them all.
+    assert out["sgx"]["prime_probe_success"]
+    assert out["sgx"]["spectre_leaked"]
+    for model in ("mi6", "ironhide"):
+        assert not out[model]["prime_probe_success"]
+        assert not out[model]["spectre_leaked"]
+        assert out[model]["covert_ber"] > 0.2
+    assert not out["ironhide"]["noc_observable"]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each figure bench runs its experiment once per benchmark round
+(``pedantic`` with one round) — the experiments are full simulations,
+not microbenchmarks, and their output (stored in ``extra_info``) is the
+reproduction artifact.  Interaction counts are reduced relative to the
+defaults; EXPERIMENTS.md records a full-length run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Benchmark-scale settings (shared predictor-calibration cache)."""
+    return ExperimentSettings(n_user=16, n_os=96)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Microarchitecture-state attacks vs the three isolation models.
+
+Mounts Prime+Probe, a cache covert channel, a Spectre-style speculative
+leak and a NoC timing probe against a victim under the SGX-like, MI6
+and IRONHIDE models — SGX leaks, strong isolation does not.
+
+    python examples/attack_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import (
+    AttackEnvironment,
+    CacheCovertChannel,
+    NocTimingProbe,
+    PrimeProbeAttack,
+    SpectreAttack,
+)
+from repro.attacks.analysis import channel_capacity_estimate, mutual_information_bits
+
+
+def main() -> None:
+    secret_message = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1] * 4
+    print(f"{'model':<10} {'prime+probe':<22} {'covert channel':<28} "
+          f"{'spectre':<18} {'noc probe'}")
+    print("-" * 100)
+    for model in ("sgx", "mi6", "ironhide"):
+        pp = PrimeProbeAttack(AttackEnvironment.build(model)).run(secret=37)
+        pp_txt = (
+            f"recovered {pp.recovered} ({'HIT' if pp.success else 'miss'})"
+            if pp.eviction_set_built
+            else "no eviction set"
+        )
+
+        cc = CacheCovertChannel(AttackEnvironment.build(model)).transmit(secret_message)
+        mi = mutual_information_bits(zip(cc.sent, cc.received))
+        cc_txt = (
+            f"BER {cc.bit_error_rate:.2f}, "
+            f"capacity {channel_capacity_estimate(cc.bit_error_rate):.2f} b/bit, "
+            f"MI {mi:.2f}"
+        )
+
+        sp = SpectreAttack(AttackEnvironment.build(model)).run(secret=29)
+        sp_txt = "LEAKED" if sp.leaked else (
+            "guard discarded" if sp.blocked_by_guard else "no leak"
+        )
+
+        noc = NocTimingProbe(AttackEnvironment.build(model)).run()
+        noc_txt = f"{noc.observed_transits} transits seen"
+
+        print(f"{model:<10} {pp_txt:<22} {cc_txt:<28} {sp_txt:<18} {noc_txt}")
+
+    print(
+        "\nSGX-like temporal sharing leaves every channel open; MI6 and "
+        "IRONHIDE sever them — IRONHIDE additionally confines NoC traffic "
+        "to the cluster, without any per-interaction purging."
+    )
+
+
+if __name__ == "__main__":
+    main()

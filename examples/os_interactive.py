@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""OS-level interactivity: where IRONHIDE wins big.
+
+Drives the *real* mini key-value store with memtier-style requests
+through the mini OS (every request costs syscalls — the ~220K
+entry/exit events per second of §IV-B), then shows what those boundary
+crossings cost on each architecture.
+
+    python examples/os_interactive.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SystemConfig, build_machine, get_app
+from repro.units import ms_from_cycles
+from repro.workloads.kv import MiniMemcached, memtier_request
+from repro.workloads.os_proc import MiniOs
+from repro.workloads.web import MiniHttpd, http_load_request
+
+
+def run_real_servers() -> None:
+    print("== Real MEMCACHED + OS ==")
+    kv = MiniMemcached(capacity_bytes=1 << 20)
+    os_ = MiniOs()
+    rng = np.random.default_rng(7)
+    log_fd = os_.open("/var/log/memcached.log")
+    for _ in range(20_000):
+        op, key = memtier_request(rng)
+        if op == "set":
+            kv.set(key, b"v" * 100)
+        elif kv.get(key) is None:
+            kv.set(key, b"v" * 100)  # read-through fill
+        os_.writev(log_fd, [key, b"\n"])  # the untrusted-OS interaction
+    os_.close(log_fd)
+    print(
+        f"requests: {kv.stats.gets + kv.stats.sets:,} | hit rate {100 * kv.stats.hit_rate:.1f}% "
+        f"| evictions {kv.stats.evictions:,} | OS syscalls {os_.syscalls:,}"
+    )
+
+    print("\n== Real LIGHTTPD ==")
+    httpd = MiniHttpd(page_bytes=20 * 1024, n_pages=64)
+    hits = sum(
+        1 for _ in range(2_000)
+        if httpd.handle(http_load_request(rng, 64)).status == 200
+    )
+    print(f"pages fetched: {hits:,} of {httpd.requests_served:,} requests")
+
+
+def run_architectures() -> None:
+    print("\n== Boundary-crossing costs per architecture ==")
+    config = SystemConfig.evaluation()
+    for app_name in ("<MEMCACHED, OS>", "<LIGHTTPD, OS>"):
+        app = get_app(app_name)
+        print(f"\n{app.name}: {app.real_interactions:,} full-scale requests")
+        base = None
+        for name in ("insecure", "sgx", "mi6", "ironhide"):
+            r = build_machine(name, config).run(app, n_interactions=160)
+            if base is None:
+                base = r.completion_cycles
+            per_interaction_us = 1e3 * ms_from_cycles(r.completion_cycles) / r.interactions
+            print(
+                f"  {name:<9} {r.completion_cycles / base:>6.2f}x insecure | "
+                f"{per_interaction_us:6.2f} us/request | "
+                f"purge {ms_from_cycles(r.breakdown.purge):7.3f} ms, "
+                f"crossings {ms_from_cycles(r.breakdown.crossing):7.3f} ms"
+            )
+
+
+if __name__ == "__main__":
+    run_real_servers()
+    run_architectures()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: run one interactive application on all four machines.
+
+Reproduces the core comparison of the paper on a single app — the
+query-encryption pipeline <AES, QUERY> — and prints completion time,
+its breakdown, and cache behaviour per machine.
+
+    python examples/quickstart.py [app-name] [n_interactions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import APPS, SystemConfig, build_machine, get_app
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "<AES, QUERY>"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+    app = get_app(app_name)
+    config = SystemConfig.evaluation()
+
+    print(f"Application: {app.name} — {app.description}")
+    print(f"Machine: 8x8 mesh, {config.n_cores} cores, "
+          f"{config.mem.n_controllers} memory controllers, {n} interactions\n")
+
+    header = (f"{'machine':<10} {'total ms':>9} {'compute':>8} {'crossing':>9} "
+              f"{'purge':>7} {'reconfig':>9} {'L1 miss':>8} {'L2 miss':>8} {'sec cores':>10}")
+    print(header)
+    print("-" * len(header))
+
+    baseline = None
+    for name in ("insecure", "sgx", "mi6", "ironhide"):
+        machine = build_machine(name, config)
+        result = machine.run(app, n_interactions=n)
+        if baseline is None:
+            baseline = result.completion_cycles
+        bd = result.breakdown
+        print(
+            f"{name:<10} {result.completion_ms:>9.2f} {bd.compute / 1e6:>8.2f} "
+            f"{bd.crossing / 1e6:>9.3f} {bd.purge / 1e6:>7.3f} {bd.reconfig / 1e6:>9.3f} "
+            f"{100 * result.l1_miss_rate:>7.1f}% {100 * result.l2_miss_rate:>7.1f}% "
+            f"{result.secure_cores:>10}"
+        )
+    print("\nNormalized to insecure:")
+    for name in ("sgx", "mi6", "ironhide"):
+        machine = build_machine(name, config)
+        result = machine.run(app, n_interactions=n)
+        print(f"  {name:<9} {result.completion_cycles / baseline:.3f}x")
+    print("\nKnown apps:", ", ".join(a.name for a in APPS))
+
+
+if __name__ == "__main__":
+    main()

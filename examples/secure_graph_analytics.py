@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Real-time graph processing, end to end (the paper's first workload).
+
+Runs the *real* algorithms: the insecure GRAPH process generates
+temporal sensor updates for a California-like road network, and the
+secure consumers recompute SSSP, PageRank and triangle counts after
+each batch — then runs the matching <SSSP, GRAPH> interactive
+application on MI6 and IRONHIDE to show the architecture-level cost of
+securing it.
+
+    python examples/secure_graph_analytics.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SystemConfig, build_machine, get_app
+from repro.workloads.graphs import (
+    RoadNetwork,
+    generate_temporal_updates,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+
+
+def run_real_pipeline() -> None:
+    print("== Real algorithms over the road network ==")
+    graph = RoadNetwork.california_like(n_nodes=1024, seed=42)
+    print(f"network: {graph.n_nodes} junctions, {graph.n_edges} directed road segments")
+
+    rng = np.random.default_rng(0)
+    for batch in range(3):
+        edges, weights = generate_temporal_updates(graph, rng, batch=64)
+        graph.with_updated_weights(edges, weights)  # the GRAPH process's job
+
+        t0 = time.perf_counter()
+        dist = sssp(graph, source=0)
+        t_sssp = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        rank = pagerank(graph, iterations=15)
+        t_pr = time.perf_counter() - t0
+
+        reachable = np.isfinite(dist).mean()
+        hub = int(np.argmax(rank))
+        print(
+            f"batch {batch}: updated {len(edges)} segments | "
+            f"SSSP {1000 * t_sssp:.1f} ms (reachable {100 * reachable:.0f}%, "
+            f"mean dist {dist[np.isfinite(dist)].mean():.1f}) | "
+            f"PR {1000 * t_pr:.1f} ms (top junction {hub})"
+        )
+    print(f"triangles in final network: {triangle_count(graph)}")
+
+
+def run_simulated_architecture() -> None:
+    print("\n== The same pipeline as an interactive application ==")
+    app = get_app("<SSSP, GRAPH>")
+    config = SystemConfig.evaluation()
+    results = {}
+    for name in ("insecure", "sgx", "mi6", "ironhide"):
+        results[name] = build_machine(name, config).run(app, n_interactions=24)
+    base = results["insecure"].completion_cycles
+    for name, r in results.items():
+        marker = f" (secure cluster: {r.secure_cores} cores)" if name == "ironhide" else ""
+        print(f"  {name:<9} {r.completion_cycles / base:.3f}x insecure{marker}")
+    mi6, ih = results["mi6"], results["ironhide"]
+    print(
+        f"\nIRONHIDE over MI6: {mi6.completion_cycles / ih.completion_cycles:.2f}x "
+        f"(purging {mi6.breakdown.purge / 1e6:.2f}M cycles -> "
+        f"one-time {ih.breakdown.reconfig / 1e6:.2f}M amortized)"
+    )
+
+
+if __name__ == "__main__":
+    run_real_pipeline()
+    run_simulated_architecture()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of IRONHIDE (Omar & Khan, HPCA 2020).
+
+A simulator of a Tile-Gx72-like 64-core multicore with the paper's four
+machine models (insecure, SGX-like, multicore MI6, IRONHIDE), the nine
+interactive benchmark applications, microarchitecture-state attack
+harnesses, and experiment drivers regenerating the paper's figures.
+
+Quickstart::
+
+    from repro import SystemConfig, build_machine, get_app
+
+    machine = build_machine("ironhide", SystemConfig.evaluation())
+    result = machine.run(get_app("<AES, QUERY>"))
+    print(result.completion_ms, result.secure_cores)
+"""
+
+from repro.config import SystemConfig
+from repro.errors import (
+    AttestationError,
+    CacheIsolationViolation,
+    ConfigError,
+    IsolationViolation,
+    MemoryIsolationViolation,
+    NetworkIsolationViolation,
+    ReproError,
+    SpeculativeAccessBlocked,
+)
+from repro.machines import MACHINES, build_machine
+from repro.sim.stats import Breakdown, RunResult
+from repro.workloads import APPS, OS_APPS, USER_APPS, get_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "build_machine",
+    "MACHINES",
+    "Breakdown",
+    "RunResult",
+    "APPS",
+    "OS_APPS",
+    "USER_APPS",
+    "get_app",
+    "ReproError",
+    "ConfigError",
+    "IsolationViolation",
+    "CacheIsolationViolation",
+    "MemoryIsolationViolation",
+    "NetworkIsolationViolation",
+    "SpeculativeAccessBlocked",
+    "AttestationError",
+    "__version__",
+]

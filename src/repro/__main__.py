@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate the paper's results.
+
+    python -m repro fig1                 # Figure 1(a)
+    python -m repro fig6 fig7            # several at once
+    python -m repro all                  # every figure and table
+    python -m repro fig8 --quick         # reduced interaction counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentSettings,
+    run_fig1a,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_interactivity_table,
+)
+from repro.experiments.ablations import (
+    ablate_binding,
+    ablate_homing,
+    ablate_purge_anatomy,
+    ablate_replication,
+    ablate_routing,
+)
+
+EXPERIMENTS = {
+    "fig1": lambda s: run_fig1a(s),
+    "fig6": lambda s: run_fig6(s),
+    "fig7": lambda s: run_fig7(s),
+    "fig8": lambda s: run_fig8(s),
+    "tables": lambda s: run_interactivity_table(s),
+    "ablations": lambda s: (
+        ablate_homing(),
+        ablate_routing(),
+        ablate_binding(s),
+        ablate_purge_anatomy(s),
+        ablate_replication(s),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate IRONHIDE (HPCA 2020) evaluation results.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper results to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced interaction counts (faster, noisier)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings(seed=args.seed)
+    if args.quick:
+        settings = settings.quickened(4)
+
+    chosen = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in chosen:
+        start = time.time()
+        EXPERIMENTS[name](settings)
+        print(f"[{name}: {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

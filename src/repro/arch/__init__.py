@@ -1,0 +1,35 @@
+"""Hardware substrate: caches, TLBs, mesh NoC, memory controllers, DRAM.
+
+These components model the Tilera Tile-Gx72-like multicore the paper
+prototypes on.  They are policy-free: the security architectures in
+:mod:`repro.machines` decide how they are partitioned, purged and homed.
+"""
+
+from repro.arch.address import AddressSpace, VirtualMemory
+from repro.arch.cache import CacheStats, SetAssocCache
+from repro.arch.dram import DramSystem
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext, TraceResult
+from repro.arch.memory_controller import MemoryController
+from repro.arch.mesh import MeshTopology
+from repro.arch.noc import MeshNetwork, Packet
+from repro.arch.routing import route_for_cluster, route_xy, route_yx
+from repro.arch.tlb import Tlb
+
+__all__ = [
+    "AddressSpace",
+    "VirtualMemory",
+    "CacheStats",
+    "SetAssocCache",
+    "DramSystem",
+    "MemoryHierarchy",
+    "ProcessContext",
+    "TraceResult",
+    "MemoryController",
+    "MeshTopology",
+    "MeshNetwork",
+    "Packet",
+    "route_for_cluster",
+    "route_xy",
+    "route_yx",
+    "Tlb",
+]

@@ -1,0 +1,458 @@
+"""Composed memory hierarchy and the trace replayer.
+
+This is the simulator's hot path.  A process's memory behaviour is
+replayed as a stream of virtual addresses through:
+
+    representative core -> private L1 + TLB -> (mesh) -> home L2 slice
+                        -> (mesh) -> memory controller -> DRAM region
+
+*Representative-core model.*  A process's threads are data-parallel; the
+trace describes the whole interaction's accesses and is replayed through
+one core's private L1/TLB.  Locality, purge-induced thrashing and shared
+L2 capacity effects are captured microarchitecturally; division of work
+across the process's cores is applied analytically by the machine's
+timing model (serial fraction + synchronization overhead).  This keeps
+replay tractable in pure Python while preserving the effects the paper's
+evaluation turns on.
+
+*Homing.*  Every physical frame has a home L2 slice.  ``hash`` homing
+spreads frames over all slices (Tilera's default hash-for-homing);
+``local`` homing assigns each page round-robin over the owning process's
+slice set (``tmc_alloc_set_home``), which is how MI6 and IRONHIDE keep
+each process's data inside its own slices.  Re-homing (dynamic hardware
+isolation) evicts resident lines and rewrites the home table.
+
+*Run compression.*  Consecutive accesses to the same line are guaranteed
+L1 hits; the replayer therefore simulates only line-change events and
+credits the rest as hits, which cuts Python-loop work several-fold
+without changing any counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.address import AddressSpace, VirtualMemory
+from repro.arch.cache import SetAssocCache
+from repro.arch.dram import DramSystem
+from repro.arch.memory_controller import MemoryController
+from repro.arch.mesh import MeshTopology
+from repro.arch.tlb import Tlb
+from repro.config import SystemConfig
+from repro.errors import CacheIsolationViolation, ConfigError
+
+
+@dataclass
+class ProcessContext:
+    """A process's hardware entitlement: cores, slices, controllers.
+
+    ``rep_core`` selects whose private L1/TLB the replay goes through.
+    On the temporally shared machines both processes are entitled to all
+    cores but their threads live on different ones most of the time, so
+    each gets its own representative; MI6's purge then wipes both.
+    """
+
+    name: str
+    domain: str
+    vm: VirtualMemory
+    cores: List[int]
+    slices: List[int]
+    controllers: List[int]
+    homing: str = "local"
+    enforce: bool = True
+    rep_core: int = -1
+    # Tilera's default configuration replicates remotely-homed lines
+    # into the requester's local slice; re-accesses then hit locally.
+    # MI6 and IRONHIDE disable replication so that each slice is only
+    # ever accessed by its owning process (§IV-A2).
+    replication: bool = False
+    # Machines whose DRAM regions interleave across all controllers can
+    # place pages NUMA-aware, so a slice's off-chip traffic leaves via
+    # its nearest controller.  IRONHIDE's clusters are instead bound to
+    # their dedicated controllers (which its compact clusters sit near).
+    numa_mc: bool = False
+    _rr_next: int = 0
+    _replicated: Optional[set] = None
+
+    def __post_init__(self) -> None:
+        if self.rep_core < 0:
+            self.rep_core = self.cores[0]
+        if self.replication and self._replicated is None:
+            self._replicated = set()
+
+    def next_local_slice(self) -> int:
+        s = self.slices[self._rr_next % len(self.slices)]
+        self._rr_next += 1
+        return s
+
+
+@dataclass
+class TraceResult:
+    """Counters and representative-core cycles from one trace replay."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    tlb_misses: int = 0
+    l1_writebacks: int = 0
+    l2_writebacks: int = 0
+    mem_cycles: int = 0
+    mc_requests: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_accesses(self) -> int:
+        return self.l2_hits + self.l2_misses
+
+    @property
+    def l2_miss_rate(self) -> float:
+        total = self.l2_accesses
+        return self.l2_misses / total if total else 0.0
+
+    def merge(self, other: "TraceResult") -> None:
+        self.accesses += other.accesses
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.tlb_misses += other.tlb_misses
+        self.l1_writebacks += other.l1_writebacks
+        self.l2_writebacks += other.l2_writebacks
+        self.mem_cycles += other.mem_cycles
+        for mc, n in other.mc_requests.items():
+            self.mc_requests[mc] = self.mc_requests.get(mc, 0) + n
+
+
+class MemoryHierarchy:
+    """All caches, TLBs, homing state and controllers of one machine."""
+
+    def __init__(self, config: SystemConfig, mesh: Optional[MeshTopology] = None):
+        self.config = config
+        self.mesh = mesh or MeshTopology(
+            config.mesh_rows, config.mesh_cols, config.mem.n_controllers
+        )
+        self.address_space = AddressSpace(config)
+        self.dram = DramSystem(config)
+        self.controllers = [
+            MemoryController(i, config.mem) for i in range(config.mem.n_controllers)
+        ]
+        self._l1: Dict[int, SetAssocCache] = {}
+        self._tlb: Dict[int, Tlb] = {}
+        self._l2: Dict[int, SetAssocCache] = {}
+        self.shared_frames: set = set()
+        self.home_table = np.full(self.address_space.total_frames, -1, dtype=np.int32)
+        self._lines_per_page = config.page_bytes // config.line_bytes
+        self._line_shift = (config.line_bytes - 1).bit_length()
+        self._page_shift = (config.page_bytes - 1).bit_length()
+        self._lp_shift = self._page_shift - self._line_shift
+        self._lp_mask = self._lines_per_page - 1
+        frames_per_region = self.address_space.frames_per_region
+        self._mc_of_region = np.array(
+            [self.dram.controller_of(r) for r in range(config.mem.n_regions)],
+            dtype=np.int32,
+        )
+        self._frames_per_region = frames_per_region
+        self._avg_dist_cache: Dict[tuple, list] = {}
+
+    # ------------------------------------------------------------------
+    # Component accessors (lazy)
+    # ------------------------------------------------------------------
+    def l1_for(self, core: int) -> SetAssocCache:
+        cache = self._l1.get(core)
+        if cache is None:
+            cache = SetAssocCache(self.config.l1, f"L1[{core}]")
+            self._l1[core] = cache
+        return cache
+
+    def tlb_for(self, core: int) -> Tlb:
+        tlb = self._tlb.get(core)
+        if tlb is None:
+            tlb = Tlb(self.config.tlb, f"TLB[{core}]")
+            self._tlb[core] = tlb
+        return tlb
+
+    def l2_slice(self, tile: int) -> SetAssocCache:
+        cache = self._l2.get(tile)
+        if cache is None:
+            cache = SetAssocCache(self.config.l2_slice, f"L2[{tile}]")
+            self._l2[tile] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Homing
+    # ------------------------------------------------------------------
+    def ensure_homed(self, frames: np.ndarray, ctx: ProcessContext) -> None:
+        """Assign home slices to frames that do not have one yet."""
+        table = self.home_table
+        if ctx.homing == "hash":
+            n = len(ctx.slices)
+            slice_arr = np.asarray(ctx.slices, dtype=np.int32)
+            for frame in frames:
+                f = int(frame)
+                if table[f] < 0:
+                    table[f] = slice_arr[f % n]
+        elif ctx.homing == "local":
+            for frame in frames:
+                f = int(frame)
+                if table[f] < 0:
+                    table[f] = ctx.next_local_slice()
+        else:
+            raise ConfigError(f"unknown homing policy {ctx.homing!r}")
+
+    def rehome_frames(self, frames: Sequence[int], ctx: ProcessContext) -> int:
+        """Re-home frames into ``ctx``'s slices; returns lines evicted.
+
+        Models ``tmc_alloc_unmap`` + ``tmc_alloc_set_home`` +
+        ``tmc_alloc_remap``: resident lines of each page are flushed from
+        the old home slice, then the page is re-assigned.
+        """
+        evicted = 0
+        lpp = self._lines_per_page
+        for frame in frames:
+            f = int(frame)
+            old = int(self.home_table[f])
+            new = ctx.next_local_slice()
+            if old == new:
+                continue
+            if old >= 0 and old in self._l2:
+                old_cache = self._l2[old]
+                base = f * lpp
+                for line in range(base, base + lpp):
+                    if old_cache.evict_line(line):
+                        evicted += 1
+            self.home_table[f] = new
+        return evicted
+
+    def frames_homed_in(self, slices: Sequence[int]) -> List[int]:
+        """All frames whose home lies in the given slice set."""
+        mask = np.isin(self.home_table, np.asarray(list(slices), dtype=np.int32))
+        return np.flatnonzero(mask).tolist()
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def run_trace(
+        self,
+        ctx: ProcessContext,
+        addrs: np.ndarray,
+        writes: Optional[np.ndarray] = None,
+    ) -> TraceResult:
+        """Replay a virtual-address trace for ``ctx``; returns counters.
+
+        ``addrs`` is a 1-D int64 array of byte addresses; ``writes`` an
+        optional boolean/int array of the same length (default: reads).
+        """
+        result = TraceResult()
+        n = len(addrs)
+        if n == 0:
+            return result
+        result.accesses = n
+
+        cfg = self.config
+        vlines = addrs >> self._line_shift
+        if writes is None:
+            writes = np.zeros(n, dtype=np.int8)
+        else:
+            writes = writes.astype(np.int8, copy=False)
+
+        # Run-length compression: only line-change events are simulated.
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(vlines[1:], vlines[:-1], out=change[1:])
+        idx = np.flatnonzero(change)
+        ev_vlines = vlines[idx]
+        ev_writes = np.maximum.reduceat(writes, idx)
+        n_events = len(idx)
+        compressed_hits = n - n_events  # guaranteed L1 hits inside runs
+
+        # Translation (per unique page) and homing.
+        ev_vpages = ev_vlines >> self._lp_shift
+        uniq_pages, inverse = np.unique(ev_vpages, return_inverse=True)
+        frames_uniq = ctx.vm.ensure_mapped(uniq_pages)
+        self.ensure_homed(frames_uniq, ctx)
+        if ctx.enforce:
+            self._check_entitlement(frames_uniq, ctx)
+        ev_frames = frames_uniq[inverse]
+        ev_plines = ev_frames * self._lines_per_page + (ev_vlines & self._lp_mask)
+        ev_homes = self.home_table[ev_frames]
+        ev_mcs = self._mc_of_region[ev_frames // self._frames_per_region]
+
+        # Pre-converted python lists make the event loop ~2x faster.
+        pages_l = ev_vpages.tolist()
+        writes_l = ev_writes.tolist()
+        plines_l = ev_plines.tolist()
+        homes_l = ev_homes.tolist()
+        mcs_l = ev_mcs.tolist()
+
+        rep = ctx.rep_core
+        l1 = self.l1_for(rep)
+        tlb = self.tlb_for(rep)
+        l1_access = l1.access
+        tlb_access = tlb.access
+        l2_caches = self._l2
+        l2_cfg = cfg.l2_slice
+        get_l2 = self.l2_slice
+
+        hop_cost = cfg.noc.hop_latency + cfg.noc.router_latency
+        l2_lat = l2_cfg.hit_latency
+        dram_lat = cfg.mem.dram_latency + cfg.mem.mc_service_latency
+        walk = cfg.tlb.miss_walk_latency
+        # Threads run on every core of the cluster; the request leg to a
+        # home slice uses the cluster-average distance, not the (biased)
+        # representative core's own position.
+        d_core = self._avg_core_distances(tuple(ctx.cores))
+        if ctx.numa_mc:
+            nearest = self.mesh.mc_distances.min(axis=1).tolist()
+            d_mc = [[v] * self.config.mem.n_controllers for v in nearest]
+        else:
+            d_mc = self.mesh.mc_distances.tolist()
+
+        l1_snap = l1.stats.snapshot()
+        l1_hits = compressed_hits
+        l1_misses = 0
+        l2_hits = 0
+        l2_misses = 0
+        tlb_misses = 0
+        mem_cycles = 0
+        mc_requests: Dict[int, int] = {}
+        l2_snaps = {}
+
+        replicated = ctx._replicated if ctx.replication else None
+
+        cur_page = -1
+        for i in range(n_events):
+            page = pages_l[i]
+            if page != cur_page:
+                cur_page = page
+                if not tlb_access(page):
+                    tlb_misses += 1
+                    mem_cycles += walk
+            line = plines_l[i]
+            if l1_access(line, writes_l[i]):
+                l1_hits += 1
+                continue
+            l1_misses += 1
+            home = homes_l[i]
+            l2 = l2_caches.get(home)
+            if l2 is None:
+                l2 = get_l2(home)
+            if home not in l2_snaps:
+                l2_snaps[home] = l2.stats.snapshot()
+            if l2.access(line, writes_l[i]):
+                l2_hits += 1
+                if replicated is not None:
+                    if line in replicated:
+                        # Replica hit in the local slice: one hop.
+                        mem_cycles += 2 * hop_cost + l2_lat
+                    else:
+                        replicated.add(line)
+                        mem_cycles += 2 * hop_cost * d_core[home] + l2_lat
+                else:
+                    mem_cycles += 2 * hop_cost * d_core[home] + l2_lat
+            else:
+                l2_misses += 1
+                mc = mcs_l[i]
+                mem_cycles += 2 * hop_cost * d_core[home] + l2_lat
+                mem_cycles += 2 * hop_cost * d_mc[home][mc] + dram_lat
+                mc_requests[mc] = mc_requests.get(mc, 0) + 1
+
+        result.l1_hits = l1_hits
+        result.l1_misses = l1_misses
+        result.l2_hits = l2_hits
+        result.l2_misses = l2_misses
+        result.tlb_misses = tlb_misses
+        result.mem_cycles = int(mem_cycles)
+        result.mc_requests = mc_requests
+        result.l1_writebacks = l1.stats.delta(l1_snap).writebacks
+        result.l2_writebacks = sum(
+            self._l2[t].stats.delta(snap).writebacks for t, snap in l2_snaps.items()
+        )
+        for mc, reqs in mc_requests.items():
+            self.controllers[mc].record_traffic(reqs, 0)
+        return result
+
+    def _avg_core_distances(self, cores: tuple) -> list:
+        """Per-slice hop count averaged over the given cores (cached)."""
+        cached = self._avg_dist_cache.get(cores)
+        if cached is None:
+            table = self.mesh.core_distances
+            cached = table[list(cores)].mean(axis=0).tolist()
+            self._avg_dist_cache[cores] = cached
+        return cached
+
+    def _check_entitlement(self, frames: np.ndarray, ctx: ProcessContext) -> None:
+        """Strong-isolation checks on newly touched frames."""
+        fpr = self._frames_per_region
+        shared = self.shared_frames
+        for frame in frames:
+            f = int(frame)
+            if f in shared:
+                # The IPC buffer: legal from both domains (paper §III-A3).
+                continue
+            self.dram.check_access(f // fpr, ctx.domain)
+            home = int(self.home_table[f])
+            if home >= 0 and home not in ctx.slices:
+                raise CacheIsolationViolation(
+                    f"{ctx.name} touched a line homed in slice {home}, "
+                    f"outside its slice set"
+                )
+
+    # ------------------------------------------------------------------
+    # Purge support
+    # ------------------------------------------------------------------
+    def purge_private(self, cores: Sequence[int]) -> Dict[str, int]:
+        """Flush-and-invalidate the private L1s and TLBs of ``cores``.
+
+        Returns counters the purge cost model consumes: the maximum
+        per-core valid/dirty line counts (cores purge in parallel) and
+        the total dirty lines that must propagate to the L2 slices.
+        """
+        max_valid = 0
+        max_dirty = 0
+        total_dirty = 0
+        tlb_entries = 0
+        for core in cores:
+            if core in self._l1:
+                valid, dirty = self._l1[core].invalidate_all()
+                max_valid = max(max_valid, valid)
+                max_dirty = max(max_dirty, dirty)
+                total_dirty += dirty
+            if core in self._tlb:
+                tlb_entries += self._tlb[core].invalidate_all()
+        return {
+            "max_valid": max_valid,
+            "max_dirty": max_dirty,
+            "total_dirty": total_dirty,
+            "tlb_entries": tlb_entries,
+        }
+
+    def clean_l2(self, slices: Sequence[int]) -> int:
+        """Write back dirty data in the given slices; returns line count."""
+        return sum(self._l2[s].clean_all() for s in slices if s in self._l2)
+
+    def l2_dirty_lines(self, slices: Sequence[int]) -> int:
+        return sum(self._l2[s].dirty_lines for s in slices if s in self._l2)
+
+    def l1_stats_of(self, core: int):
+        return self.l1_for(core).stats
+
+    def l2_aggregate_stats(self, slices: Sequence[int]):
+        from repro.arch.cache import CacheStats
+
+        agg = CacheStats()
+        for s in slices:
+            if s in self._l2:
+                st = self._l2[s].stats
+                agg.hits += st.hits
+                agg.misses += st.misses
+                agg.evictions += st.evictions
+                agg.writebacks += st.writebacks
+        return agg

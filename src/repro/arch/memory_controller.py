@@ -1,0 +1,103 @@
+"""Memory controller with request queues and a purge operation.
+
+Commercial multicores use variable-latency controllers, whose shared
+queues/buffers leak timing (§III-A1).  The multicore MI6 baseline
+therefore purges all controller queues at each enclave entry/exit; the
+purge writes modified data back to DRAM (``tmc_mem_fence_node``), so its
+cost scales with the dirty footprint that must drain.  IRONHIDE instead
+dedicates controllers to clusters so cross-domain queue sharing never
+occurs.
+
+For trace replay the controller works in aggregate: callers report how
+many requests a process issued and over what span, and the controller
+returns the average queueing delay from an M/D/1 approximation.  The
+event-level API (``service_request``) backs the finer-grained tests and
+the memory-timing attack harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config import MemConfig
+
+
+@dataclass
+class McStats:
+    reads: int = 0
+    writes: int = 0
+    writebacks: int = 0
+    purges: int = 0
+    drained_entries: int = 0
+    queue_wait_cycles: int = 0
+
+
+class MemoryController:
+    """One DDR controller: pipelined service plus queue accounting."""
+
+    def __init__(self, mc_id: int, config: MemConfig):
+        self.mc_id = mc_id
+        self.config = config
+        self.stats = McStats()
+        self._busy_until = 0
+        self._pending: List[int] = []  # completion times of queued entries
+
+    # ------------------------------------------------------------------
+    # Event-level interface (tests, attacks, NoC-coupled runs)
+    # ------------------------------------------------------------------
+    def service_request(self, arrival: int, is_write: bool = False) -> int:
+        """Serve one request arriving at ``arrival``; returns finish time."""
+        start = arrival if arrival >= self._busy_until else self._busy_until
+        self.stats.queue_wait_cycles += start - arrival
+        self._busy_until = start + self.config.mc_service_latency
+        finish = start + self.config.dram_latency
+        self._pending = [t for t in self._pending if t > arrival]
+        self._pending.append(finish)
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return finish
+
+    def queue_occupancy(self, now: int) -> int:
+        """Entries still in flight at time ``now``."""
+        return sum(1 for t in self._pending if t > now)
+
+    # ------------------------------------------------------------------
+    # Aggregate interface (trace replay)
+    # ------------------------------------------------------------------
+    def queue_delay(self, requests: int, span_cycles: float) -> float:
+        """Average per-request queueing delay for ``requests`` spread
+        uniformly over ``span_cycles`` (M/D/1 waiting time)."""
+        if requests <= 0 or span_cycles <= 0:
+            return 0.0
+        service = self.config.mc_service_latency
+        utilization = min(0.95, requests * service / span_cycles)
+        wait = service * utilization / (2.0 * (1.0 - utilization))
+        self.stats.queue_wait_cycles += int(wait * requests)
+        return wait
+
+    def record_traffic(self, reads: int, writes: int, writebacks: int = 0) -> None:
+        self.stats.reads += reads
+        self.stats.writes += writes
+        self.stats.writebacks += writebacks
+
+    # ------------------------------------------------------------------
+    # Purge (strong isolation)
+    # ------------------------------------------------------------------
+    def purge(self, dirty_lines_to_drain: int = 0) -> int:
+        """Drain queues and write modified data to DRAM; returns cycles.
+
+        ``dirty_lines_to_drain`` is the modified data attributed to this
+        controller (dirty lines homed in L2 slices it serves plus queued
+        writes); each line costs ``writeback_drain_latency`` of DRAM
+        write bandwidth.
+        """
+        entries = len(self._pending) + dirty_lines_to_drain
+        self._pending.clear()
+        self._busy_until = 0
+        self.stats.purges += 1
+        self.stats.drained_entries += entries
+        self.stats.writebacks += dirty_lines_to_drain
+        return entries * self.config.writeback_drain_latency

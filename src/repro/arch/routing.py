@@ -1,0 +1,113 @@
+"""Deterministic dimension-ordered routing with bidirectional support.
+
+The paper's strong-isolation argument for the on-chip network (§III-B2)
+is that X-Y routing keeps packets inside a cluster when clusters are
+whole rows, and that allowing *bidirectional* routing (X-Y or Y-X, per
+packet) extends containment to clusters that split a row: a packet routed
+Y-first travels to its destination's row before moving horizontally, so
+it never transits tiles of the other cluster.
+
+``route_for_cluster`` encodes that rule: it returns an X-Y path when that
+path stays inside the allowed tile set, otherwise a Y-X path, and raises
+:class:`NetworkIsolationViolation` when neither deterministic route is
+contained (which, for the contiguous row-major allocations IRONHIDE
+uses, never happens — a property the test suite checks exhaustively).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.arch.mesh import MeshTopology
+from repro.errors import NetworkIsolationViolation
+
+
+def route_xy(topo: MeshTopology, src: int, dst: int) -> List[int]:
+    """X-first dimension-ordered path, inclusive of both endpoints."""
+    sr, sc = topo.coords(src)
+    dr, dc = topo.coords(dst)
+    path = [src]
+    step = 1 if dc > sc else -1
+    for c in range(sc + step, dc + step, step) if dc != sc else []:
+        path.append(topo.core_at(sr, c))
+    step = 1 if dr > sr else -1
+    for r in range(sr + step, dr + step, step) if dr != sr else []:
+        path.append(topo.core_at(r, dc))
+    return path
+
+
+def route_yx(topo: MeshTopology, src: int, dst: int) -> List[int]:
+    """Y-first dimension-ordered path, inclusive of both endpoints."""
+    sr, sc = topo.coords(src)
+    dr, dc = topo.coords(dst)
+    path = [src]
+    step = 1 if dr > sr else -1
+    for r in range(sr + step, dr + step, step) if dr != sr else []:
+        path.append(topo.core_at(r, sc))
+    step = 1 if dc > sc else -1
+    for c in range(sc + step, dc + step, step) if dc != sc else []:
+        path.append(topo.core_at(dr, c))
+    return path
+
+
+def path_contained(path: Sequence[int], allowed: FrozenSet[int]) -> bool:
+    """True if every tile the path transits belongs to ``allowed``."""
+    return all(tile in allowed for tile in path)
+
+
+def route_for_cluster(
+    topo: MeshTopology,
+    src: int,
+    dst: int,
+    allowed: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Deterministic route that never leaves the cluster's tiles.
+
+    ``allowed`` is the set of tiles the packet may transit (the cluster,
+    possibly extended with explicitly authorized tiles for IPC traffic).
+    ``None`` means the whole mesh is permitted (no isolation).
+    """
+    if allowed is None:
+        return route_xy(topo, src, dst)
+    allowed_set = frozenset(allowed)
+    if src not in allowed_set or dst not in allowed_set:
+        raise NetworkIsolationViolation(
+            f"endpoint outside cluster: {src} -> {dst} not in allowed set"
+        )
+    xy = route_xy(topo, src, dst)
+    if path_contained(xy, allowed_set):
+        return xy
+    yx = route_yx(topo, src, dst)
+    if path_contained(yx, allowed_set):
+        return yx
+    raise NetworkIsolationViolation(
+        f"no deterministic route from {src} to {dst} stays within the cluster"
+    )
+
+
+def route_to_mc(
+    topo: MeshTopology,
+    src: int,
+    mc: int,
+    allowed: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Route from a tile to a memory controller's edge anchor.
+
+    The returned path ends at the anchor tile; the final off-edge hop to
+    the controller itself never transits another tile.
+    """
+    anchor = topo.mc_anchor_core(mc)
+    if allowed is None:
+        return route_xy(topo, src, anchor)
+    allowed_set = frozenset(allowed) | {anchor}
+    if src not in allowed_set:
+        raise NetworkIsolationViolation(f"source tile {src} not in cluster")
+    xy = route_xy(topo, src, anchor)
+    if path_contained(xy, allowed_set):
+        return xy
+    yx = route_yx(topo, src, anchor)
+    if path_contained(yx, allowed_set):
+        return yx
+    raise NetworkIsolationViolation(
+        f"no deterministic route from tile {src} to MC{mc} stays within the cluster"
+    )

@@ -1,0 +1,25 @@
+"""Microarchitecture-state attack harnesses.
+
+These validate the security claims: under the SGX-like model (temporal
+sharing, no strong isolation) the classic channels work — Prime+Probe on
+the shared L2, cache covert channels, Spectre-style speculative leaks,
+NoC timing probes.  Under MI6/IRONHIDE strong isolation every one of
+them is cut off, and the harnesses measure exactly how.
+"""
+
+from repro.attacks.environment import AttackEnvironment
+from repro.attacks.prime_probe import PrimeProbeAttack
+from repro.attacks.covert_channel import CacheCovertChannel
+from repro.attacks.spectre import SpectreAttack
+from repro.attacks.noc_probe import NocTimingProbe
+from repro.attacks.analysis import bit_error_rate, recovery_rate
+
+__all__ = [
+    "AttackEnvironment",
+    "PrimeProbeAttack",
+    "CacheCovertChannel",
+    "SpectreAttack",
+    "NocTimingProbe",
+    "bit_error_rate",
+    "recovery_rate",
+]

@@ -1,0 +1,58 @@
+"""Leakage metrics for the attack harnesses."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+def recovery_rate(secrets: Sequence[int], recovered: Sequence[Optional[int]]) -> float:
+    """Fraction of trials where the exact secret was recovered."""
+    if len(secrets) != len(recovered):
+        raise ValueError("secrets and recoveries must align")
+    if not secrets:
+        return 0.0
+    hits = sum(1 for s, r in zip(secrets, recovered) if s == r)
+    return hits / len(secrets)
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Errors per transmitted bit."""
+    if len(sent) != len(received):
+        raise ValueError("bit strings must align")
+    if not sent:
+        return 0.0
+    return sum(1 for s, r in zip(sent, received) if s != r) / len(sent)
+
+
+def mutual_information_bits(
+    pairs: Iterable[Tuple[int, int]],
+) -> float:
+    """Empirical mutual information (bits) between secret and observation.
+
+    A working channel over n symbols approaches log2(n); a severed
+    channel approaches zero.  Plug-in estimator; adequate for the test
+    sizes used here.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return 0.0
+    n = len(pairs)
+    joint = Counter(pairs)
+    left = Counter(s for s, _ in pairs)
+    right = Counter(o for _, o in pairs)
+    mi = 0.0
+    for (s, o), count in joint.items():
+        p_joint = count / n
+        p_s = left[s] / n
+        p_o = right[o] / n
+        mi += p_joint * math.log2(p_joint / (p_s * p_o))
+    return max(0.0, mi)
+
+
+def channel_capacity_estimate(error_rate: float) -> float:
+    """Binary symmetric channel capacity for a measured error rate."""
+    p = min(max(error_rate, 1e-12), 1 - 1e-12)
+    entropy = -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+    return 1.0 - entropy

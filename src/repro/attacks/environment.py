@@ -1,0 +1,116 @@
+"""A victim/attacker pair on one of the evaluated isolation models.
+
+``AttackEnvironment`` builds a hierarchy with a victim (secure) process
+and an attacker (insecure) process entitled according to the chosen
+model: ``"sgx"`` (temporal sharing, no partitioning — the attacker can
+home data anywhere and co-run on the victim's cores), ``"mi6"`` (static
+L2/DRAM halves, purge on crossings) or ``"ironhide"`` (spatial
+clusters).  The attack classes drive these contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.arch.noc import MeshNetwork
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.secure.isolation import SpatialClusterPolicy, StaticPartitionPolicy, UnifiedPolicy
+from repro.secure.purge import PurgeModel
+from repro.secure.spectre_guard import SpectreGuard
+
+ISOLATION_MODELS = ("sgx", "mi6", "ironhide")
+
+
+@dataclass
+class AttackEnvironment:
+    """Hierarchy + victim/attacker contexts under one isolation model."""
+
+    model: str
+    config: SystemConfig
+    hier: MemoryHierarchy
+    victim: ProcessContext
+    attacker: ProcessContext
+    guard: Optional[SpectreGuard]
+    purge_model: PurgeModel
+    network: MeshNetwork
+    victim_network: Optional[frozenset]
+    attacker_network: Optional[frozenset]
+
+    @classmethod
+    def build(
+        cls, model: str, config: Optional[SystemConfig] = None, n_secure: int = 32
+    ) -> "AttackEnvironment":
+        if model not in ISOLATION_MODELS:
+            raise ConfigError(f"unknown isolation model {model!r}")
+        config = config or SystemConfig.evaluation()
+        hier = MemoryHierarchy(config)
+        if model == "sgx":
+            plan = UnifiedPolicy().plan(config, hier.mesh, hier.dram)
+        elif model == "mi6":
+            plan = StaticPartitionPolicy().plan(config, hier.mesh, hier.dram)
+        else:
+            plan = SpatialClusterPolicy(n_secure).plan(config, hier.mesh, hier.dram)
+
+        victim = ProcessContext(
+            "victim",
+            "secure",
+            VirtualMemory("victim", hier.address_space, list(plan.secure_regions)),
+            cores=list(plan.secure_cores),
+            slices=list(plan.secure_slices),
+            controllers=list(plan.secure_mcs),
+            homing=plan.homing,
+            rep_core=plan.secure_cores[0],
+        )
+        attacker_rep = (
+            plan.insecure_cores[0]
+            if not plan.time_shared
+            else plan.insecure_cores[0]  # co-scheduled on the same tile pool
+        )
+        attacker = ProcessContext(
+            "attacker",
+            "insecure",
+            VirtualMemory("attacker", hier.address_space, list(plan.insecure_regions)),
+            cores=list(plan.insecure_cores),
+            slices=list(plan.insecure_slices),
+            controllers=list(plan.insecure_mcs),
+            homing=plan.homing,
+            rep_core=attacker_rep,
+        )
+        guard = None
+        if model in ("mi6", "ironhide"):
+            guard = SpectreGuard(hier.dram, hier.address_space.frames_per_region)
+        return cls(
+            model=model,
+            config=config,
+            hier=hier,
+            victim=victim,
+            attacker=attacker,
+            guard=guard,
+            purge_model=PurgeModel(config),
+            network=MeshNetwork(hier.mesh, config.noc),
+            victim_network=plan.secure_network,
+            attacker_network=plan.insecure_network,
+        )
+
+    @property
+    def strong_isolation(self) -> bool:
+        return self.model in ("mi6", "ironhide")
+
+    def shared_slices(self) -> set:
+        """Slices both parties may legitimately home data in."""
+        return set(self.victim.slices) & set(self.attacker.slices)
+
+    def purge_crossing(self) -> None:
+        """The MI6 entry/exit purge, as the machine would issue it."""
+        self.purge_model.purge(
+            self.hier,
+            cores=[self.victim.rep_core, self.attacker.rep_core],
+            l2_slices=list(self.victim.slices) + list(self.attacker.slices),
+            controllers=list(self.victim.controllers),
+        )

@@ -1,0 +1,161 @@
+"""Prime+Probe on the shared L2 (Liu et al., the paper's [1]).
+
+The attacker fills every way of the victim's candidate L2 sets with its
+own lines (prime), lets the victim run, then re-checks its lines
+(probe): a missing line means the victim touched that set, revealing
+the secret-dependent index.
+
+Under the SGX-like model the attack works end to end: hash-for-homing
+lets the attacker allocate lines homed in the *same slice* the victim's
+data lives in.  Under MI6/IRONHIDE the attacker's allocations can only
+ever be homed in its own slice partition/cluster, so it cannot even
+construct an eviction set for the victim's slice — the harness degrades
+to a random guess, and any attempt to touch the victim's slice directly
+trips :class:`~repro.errors.CacheIsolationViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.environment import AttackEnvironment
+from repro.errors import CacheIsolationViolation
+
+
+@dataclass
+class PrimeProbeResult:
+    model: str
+    secret: int
+    recovered: Optional[int]
+    eviction_set_built: bool
+    probed_indices: int
+
+    @property
+    def success(self) -> bool:
+        return self.recovered == self.secret
+
+
+class PrimeProbeAttack:
+    """One Prime+Probe attacker against one victim.
+
+    The secret is the victim's line index within its page (0..63); the
+    attacker recovers it by finding which L2 set lost a primed way.
+    """
+
+    _VICTIM_PAGE = 0
+    _ATTACKER_PAGE_BASE = 1 << 20
+
+    def __init__(self, env: AttackEnvironment, max_search_pages: int = 4096):
+        self.env = env
+        self.max_search_pages = max_search_pages
+        self._lines_per_page = env.config.page_bytes // env.config.line_bytes
+        self._n_sets = env.config.l2_slice.n_sets
+
+    # -- helpers ---------------------------------------------------------
+    def _touch(self, ctx, vpage: int, line_in_page: int = 0, write: bool = False) -> None:
+        addr = vpage * self.env.config.page_bytes + line_in_page * self.env.config.line_bytes
+        addrs = np.asarray([addr], dtype=np.int64)
+        writes = np.asarray([1 if write else 0], dtype=np.int8)
+        self.env.hier.run_trace(ctx, addrs, writes)
+
+    def _frame(self, ctx, vpage: int) -> int:
+        return ctx.vm.page_table[vpage]
+
+    def _base_set(self, frame: int) -> int:
+        return (frame * self._lines_per_page) & (self._n_sets - 1)
+
+    def _line_id(self, frame: int, line_in_page: int) -> int:
+        return frame * self._lines_per_page + line_in_page
+
+    # -- attack phases ----------------------------------------------------
+    def build_eviction_sets(
+        self, home_slice: int, target_sets: List[int]
+    ) -> Dict[int, List[Tuple[int, int]]]:
+        """(vpage, line_in_page) ways per target set, homed in the slice.
+
+        Allocates attacker pages until every target set has enough ways
+        (associativity).  Under strong isolation no attacker page is
+        ever homed in the victim's slice, so the map stays empty.
+        """
+        env = self.env
+        ways = env.config.l2_slice.associativity
+        wanted = set(target_sets)
+        coverage: Dict[int, List[Tuple[int, int]]] = {s: [] for s in target_sets}
+        for i in range(self.max_search_pages):
+            vpage = self._ATTACKER_PAGE_BASE + i
+            try:
+                self._touch(env.attacker, vpage)
+            except CacheIsolationViolation:
+                continue
+            frame = self._frame(env.attacker, vpage)
+            if int(env.hier.home_table[frame]) != home_slice:
+                continue
+            base = self._base_set(frame)
+            for line_in_page in range(self._lines_per_page):
+                cache_set = (base + line_in_page) & (self._n_sets - 1)
+                if cache_set in wanted and len(coverage[cache_set]) < ways:
+                    coverage[cache_set].append((vpage, line_in_page))
+            if all(len(v) >= ways for v in coverage.values()):
+                break
+        return coverage
+
+    def run(self, secret: int, rng: Optional[np.random.Generator] = None) -> PrimeProbeResult:
+        """Attempt to recover the victim's secret line index."""
+        env = self.env
+        rng = rng or np.random.default_rng(0)
+        if not 0 <= secret < self._lines_per_page:
+            raise ValueError(f"secret must be a line index < {self._lines_per_page}")
+
+        # Victim maps its page; its home slice is the attack target.
+        self._touch(env.victim, self._VICTIM_PAGE)
+        victim_frame = self._frame(env.victim, self._VICTIM_PAGE)
+        home = int(env.hier.home_table[victim_frame])
+        victim_base = self._base_set(victim_frame)
+        candidate_sets = [
+            (victim_base + i) & (self._n_sets - 1) for i in range(self._lines_per_page)
+        ]
+
+        coverage = self.build_eviction_sets(home, candidate_sets)
+        ways = env.config.l2_slice.associativity
+        if not all(len(v) >= ways for v in coverage.values()):
+            # Strong isolation: no eviction sets; attacker can only guess.
+            return PrimeProbeResult(
+                env.model, secret, int(rng.integers(0, self._lines_per_page)), False, 0
+            )
+
+        # Prime.
+        primed_lines: Dict[int, List[int]] = {}
+        for idx, cache_set in enumerate(candidate_sets):
+            lines = []
+            for vpage, line_in_page in coverage[cache_set][:ways]:
+                self._touch(env.attacker, vpage, line_in_page)
+                frame = self._frame(env.attacker, vpage)
+                lines.append(self._line_id(frame, line_in_page))
+            primed_lines[idx] = lines
+
+        # Victim makes its secret-dependent access.
+        self._touch(env.victim, self._VICTIM_PAGE, secret, write=True)
+
+        # Probe: the candidate index whose set lost an attacker line.
+        slice_cache = env.hier.l2_slice(home)
+        recovered = None
+        for idx in range(self._lines_per_page):
+            if any(not slice_cache.contains(line) for line in primed_lines[idx]):
+                recovered = idx
+                break
+        return PrimeProbeResult(env.model, secret, recovered, True, self._lines_per_page)
+
+    def trial_success_rate(self, secrets, rng: Optional[np.random.Generator] = None) -> float:
+        """Fraction of independent trials recovering the exact secret."""
+        rng = rng or np.random.default_rng(1)
+        secrets = [int(s) for s in secrets]
+        wins = 0
+        for secret in secrets:
+            env = AttackEnvironment.build(self.env.model, self.env.config)
+            attack = PrimeProbeAttack(env, self.max_search_pages)
+            if attack.run(secret, rng).success:
+                wins += 1
+        return wins / len(secrets)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the IRONHIDE reproduction.
+
+``ReproError`` is the base for configuration and usage errors.
+``IsolationViolation`` and its subclasses are *security* errors: they are
+raised when a simulated component detects an access that strong isolation
+forbids.  The attack harnesses rely on catching them to demonstrate that
+the isolating architectures block the corresponding channels.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A system or workload configuration is inconsistent."""
+
+
+class AllocationError(ReproError):
+    """Physical page or resource allocation failed."""
+
+
+class IsolationViolation(ReproError):
+    """An access crossed a strong-isolation boundary."""
+
+
+class CacheIsolationViolation(IsolationViolation):
+    """A process touched a shared-cache slice it does not own."""
+
+
+class MemoryIsolationViolation(IsolationViolation):
+    """A process touched a DRAM region or controller it does not own."""
+
+
+class NetworkIsolationViolation(IsolationViolation):
+    """A NoC packet left its cluster without IPC authorization."""
+
+
+class SpeculativeAccessBlocked(IsolationViolation):
+    """The speculative-state hardware check discarded an access."""
+
+
+class AttestationError(ReproError):
+    """The secure kernel rejected a process's measurement or signature."""
+
+
+class IPCError(ReproError):
+    """Misuse of the shared IPC buffer (overflow, wrong domain, ...)."""

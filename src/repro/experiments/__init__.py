@@ -1,0 +1,23 @@
+"""Experiment drivers regenerating the paper's figures and tables.
+
+Each driver returns structured data and can print the same rows/series
+the paper reports.  ``benchmarks/`` wraps these with pytest-benchmark;
+``examples/`` calls them interactively.
+"""
+
+from repro.experiments.fig1 import run_fig1a
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.runner import ExperimentSettings, run_matrix
+from repro.experiments.tables import run_interactivity_table
+
+__all__ = [
+    "run_fig1a",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_interactivity_table",
+    "ExperimentSettings",
+    "run_matrix",
+]

@@ -1,0 +1,44 @@
+"""Figure 1(a): normalized geometric-mean completion time.
+
+The paper's headline overview: completion times of the SGX-like setup
+(~1.33x), multicore MI6 (~2.25x) and IRONHIDE (~1.11x), each normalized
+to the insecure baseline, geometric mean over all nine interactive
+applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.reporting import geomean, print_table
+from repro.experiments.runner import DEFAULT_MACHINES, ExperimentSettings, run_matrix
+from repro.workloads import APPS
+
+PAPER_VALUES = {"insecure": 1.0, "sgx": 1.33, "mi6": 2.25, "ironhide": 1.11}
+
+
+def run_fig1a(
+    settings: Optional[ExperimentSettings] = None, verbose: bool = True
+) -> Dict[str, float]:
+    """Returns {machine: normalized geomean completion time}."""
+    settings = settings or ExperimentSettings()
+    results = run_matrix(APPS, DEFAULT_MACHINES, settings)
+    normalized: Dict[str, float] = {}
+    for machine in DEFAULT_MACHINES:
+        ratios = [
+            results[(app.name, machine)].completion_cycles
+            / results[(app.name, "insecure")].completion_cycles
+            for app in APPS
+        ]
+        normalized[machine] = geomean(ratios)
+    if verbose:
+        rows = [
+            [m, normalized[m], PAPER_VALUES[m]]
+            for m in DEFAULT_MACHINES
+        ]
+        print_table(
+            "Figure 1(a): geomean completion time normalized to insecure",
+            ["machine", "measured", "paper"],
+            rows,
+        )
+    return normalized

@@ -1,0 +1,88 @@
+"""Figure 8: impact of core re-allocation predictor decisions.
+
+The paper compares the geometric-mean completion time (across all
+interactive applications) of the MI6 baseline against IRONHIDE driven
+by: the gradient-based Heuristic (~2.1x better than MI6), an Optimal
+exhaustive search (~2.3x), and fixed ±x% decision variations (x in
+5..25: the secure cluster receives x% more or fewer cores than
+Optimal).  The Heuristic lands within the ±5% band of Optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.reporting import geomean, print_table
+from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
+from repro.secure.predictor import (
+    FixedVariationPredictor,
+    GradientHeuristicPredictor,
+    OptimalPredictor,
+)
+from repro.workloads import APPS
+
+VARIATION_PERCENTS = (5, 10, 15, 25)
+
+
+@dataclass
+class Fig8Data:
+    """Geomean completion per predictor variant, normalized to MI6=100."""
+
+    series: Dict[str, float]
+    secure_cores: Dict[str, Dict[str, int]]  # variant -> app -> cores
+
+    @property
+    def heuristic_gain(self) -> float:
+        return 100.0 / self.series["heuristic"]
+
+    @property
+    def optimal_gain(self) -> float:
+        return 100.0 / self.series["optimal"]
+
+
+def _variants(percents):
+    yield "heuristic", lambda: GradientHeuristicPredictor()
+    yield "optimal", lambda: OptimalPredictor()
+    for pct in percents:
+        yield f"+{pct}%", lambda pct=pct: FixedVariationPredictor(pct)
+        yield f"-{pct}%", lambda pct=pct: FixedVariationPredictor(-pct)
+
+
+def run_fig8(
+    settings: Optional[ExperimentSettings] = None,
+    verbose: bool = True,
+    percents=VARIATION_PERCENTS,
+) -> Fig8Data:
+    settings = settings or ExperimentSettings()
+    mi6 = run_matrix(APPS, ("mi6",), settings)
+    series: Dict[str, float] = {"mi6": 100.0}
+    cores: Dict[str, Dict[str, int]] = {}
+    for variant, make_predictor in _variants(percents):
+        ratios = []
+        cores[variant] = {}
+        for app in APPS:
+            result = run_one(
+                app, "ironhide", settings, predictor=make_predictor()
+            )
+            ratios.append(
+                result.completion_cycles / mi6[(app.name, "mi6")].completion_cycles
+            )
+            cores[variant][app.name] = result.secure_cores
+        series[variant] = 100.0 * geomean(ratios)
+    data = Fig8Data(series, cores)
+    if verbose:
+        order = ["mi6", "heuristic", "optimal"] + [
+            f"{s}{p}%" for p in percents for s in ("+", "-")
+        ]
+        print_table(
+            "Figure 8: geomean completion vs MI6=100 (lower is better)",
+            ["variant", "completion"],
+            [[v, series[v]] for v in order if v in series],
+            precision=1,
+        )
+        print(
+            f"Heuristic gain {data.heuristic_gain:.2f}x (paper ~2.1x), "
+            f"Optimal gain {data.optimal_gain:.2f}x (paper ~2.3x)"
+        )
+    return data

@@ -1,0 +1,49 @@
+"""Plain-text table/series rendering for experiment output."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3) -> str:
+    """Render rows as an aligned ASCII table."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows, precision))
+
+
+def normalize(values: dict, base_key: str) -> dict:
+    """Divide every value by the base entry's value."""
+    base = values[base_key]
+    return {k: v / base for k, v in values.items()}

@@ -1,0 +1,70 @@
+"""Shared experiment plumbing: run app x machine matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.machines import build_machine
+from repro.sim.stats import RunResult
+from repro.workloads import APPS
+from repro.workloads.base import AppSpec
+
+DEFAULT_MACHINES = ("insecure", "sgx", "mi6", "ironhide")
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs shared by all experiment drivers.
+
+    ``n_user`` / ``n_os`` override the per-app interaction counts so
+    benchmarks can trade precision for runtime; ``None`` keeps each
+    app's default.
+    """
+
+    config: SystemConfig = field(default_factory=SystemConfig.evaluation)
+    n_user: Optional[int] = None
+    n_os: Optional[int] = None
+    seed: int = 0
+    calibration_cache: Dict = field(default_factory=dict)
+
+    def interactions_for(self, app: AppSpec) -> Optional[int]:
+        return self.n_user if app.level == "user" else self.n_os
+
+    def quickened(self, factor: int) -> "ExperimentSettings":
+        """A faster variant dividing default interaction counts."""
+        return ExperimentSettings(
+            config=self.config,
+            n_user=max(4, next(a.n_interactions for a in APPS if a.level == "user") // factor),
+            n_os=max(8, next(a.n_interactions for a in APPS if a.level == "os") // factor),
+            seed=self.seed,
+            calibration_cache=self.calibration_cache,
+        )
+
+
+def run_one(
+    app: AppSpec, machine_name: str, settings: ExperimentSettings, **machine_kwargs
+) -> RunResult:
+    """Run one app on a freshly built machine."""
+    if machine_name == "ironhide" and "calibration_cache" not in machine_kwargs:
+        machine_kwargs["calibration_cache"] = settings.calibration_cache
+    machine = build_machine(machine_name, settings.config, **machine_kwargs)
+    return machine.run(
+        app, n_interactions=settings.interactions_for(app), seed=settings.seed
+    )
+
+
+def run_matrix(
+    apps: Optional[Iterable[AppSpec]] = None,
+    machines: Iterable[str] = DEFAULT_MACHINES,
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[Tuple[str, str], RunResult]:
+    """Run every (app, machine) pair; returns results keyed by names."""
+    settings = settings or ExperimentSettings()
+    apps = list(apps) if apps is not None else list(APPS)
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for app in apps:
+        for machine_name in machines:
+            results[(app.name, machine_name)] = run_one(app, machine_name, settings)
+    return results

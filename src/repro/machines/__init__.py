@@ -1,0 +1,45 @@
+"""The evaluated machine models.
+
+* :class:`InsecureMachine` — no security primitives (normalization base).
+* :class:`SgxMachine` — SGX-like enclaves: 5 us crossings, no
+  partitioning, no purging (temporal sharing leaks state).
+* :class:`Mi6Machine` — multicore MI6: static L2/DRAM partitioning plus
+  full microarchitecture-state purges at every enclave crossing.
+* :class:`IronhideMachine` — the paper's contribution: spatially
+  isolated clusters, pinned processes, one-time dynamic reconfiguration.
+"""
+
+from repro.machines.base import Machine
+from repro.machines.insecure import InsecureMachine
+from repro.machines.ironhide import IronhideMachine
+from repro.machines.mi6 import Mi6Machine
+from repro.machines.sgx import SgxMachine
+
+MACHINES = {
+    "insecure": InsecureMachine,
+    "sgx": SgxMachine,
+    "mi6": Mi6Machine,
+    "ironhide": IronhideMachine,
+}
+
+
+def build_machine(name: str, config=None, **kwargs) -> Machine:
+    """Construct one of the evaluated machines by name."""
+    try:
+        cls = MACHINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        ) from None
+    return cls(config=config, **kwargs)
+
+
+__all__ = [
+    "Machine",
+    "InsecureMachine",
+    "SgxMachine",
+    "Mi6Machine",
+    "IronhideMachine",
+    "MACHINES",
+    "build_machine",
+]

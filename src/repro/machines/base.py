@@ -1,0 +1,230 @@
+"""Shared machinery for the four evaluated machine models.
+
+Every machine runs an interactive application the same way the paper's
+prototype does: a warm-up phase, then a measured sequence of ping-pong
+interactions — the insecure producer computes and posts a message to the
+shared IPC buffer, the secure consumer picks it up, computes, and posts
+its reply.  Machines differ only in their :meth:`Machine._setup` (how
+hardware is divided, what one-time costs apply) and in the
+entry/exit hooks (what each secure-boundary crossing costs).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext, TraceResult
+from repro.config import SystemConfig
+from repro.secure.enclave import EnclaveManager
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.kernel import SecureKernel
+from repro.secure.purge import PurgeModel
+from repro.secure.spectre_guard import SpectreGuard
+from repro.sim.stats import Breakdown, ProcessStats, RunResult
+from repro.sim.trace import Trace
+from repro.units import cycles_from_us
+from repro.workloads.base import AppSpec, WorkloadProcess
+
+
+@dataclass
+class CrossingCost:
+    """Cycles charged at one secure-boundary crossing."""
+
+    crossing: float = 0.0
+    purge: float = 0.0
+
+
+@dataclass
+class Setup:
+    """Everything a machine prepares before the measured run."""
+
+    ctx_secure: ProcessContext
+    ctx_insecure: ProcessContext
+    ipc: SharedIpcBuffer
+    breakdown: Breakdown
+    secure_cores: int
+    insecure_cores: int
+    predictor_evals: int = 0
+
+
+class Machine(abc.ABC):
+    """One evaluated architecture."""
+
+    name: str = "abstract"
+    strong_isolation: bool = False
+
+    def __init__(self, config: Optional[SystemConfig] = None, post_setup_warmup: int = 2):
+        self.config = config or SystemConfig.tile_gx72()
+        self.hier = MemoryHierarchy(self.config)
+        self.mesh = self.hier.mesh
+        self.kernel = SecureKernel()
+        self.enclaves = EnclaveManager(self.config)
+        self.purge_model = PurgeModel(self.config)
+        self.guard = SpectreGuard(self.hier.dram, self.hier.address_space.frames_per_region)
+        self.post_setup_warmup = post_setup_warmup
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _setup(
+        self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng
+    ) -> Setup:
+        """Divide the hardware and charge one-time costs."""
+
+    def _secure_entry(self, app: AppSpec, st: Setup) -> CrossingCost:
+        return CrossingCost()
+
+    def _secure_exit(self, app: AppSpec, st: Setup) -> CrossingCost:
+        return CrossingCost()
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self, app: AppSpec, n_interactions: Optional[int] = None, seed: int = 0
+    ) -> RunResult:
+        """Run the interactive application; returns the measured result."""
+        n = n_interactions if n_interactions is not None else app.n_interactions
+        rng = np.random.default_rng(seed)
+        sec_proc, ins_proc = app.processes()
+        st = self._setup(app, sec_proc, ins_proc, rng)
+        bd = st.breakdown
+        sec_stats = ProcessStats(sec_proc.name, cores=st.secure_cores)
+        ins_stats = ProcessStats(ins_proc.name, cores=st.insecure_cores)
+        for i in range(-self.post_setup_warmup, n):
+            self._interaction(
+                app, st, sec_proc, ins_proc, rng, i, i >= 0, bd, sec_stats, ins_stats
+            )
+        # One-time costs (attestation, the single reconfiguration event)
+        # amortize over the application's full-scale run; the measured
+        # window covers n of real_interactions of it.
+        amortization = min(1.0, n / app.real_interactions)
+        bd.attestation *= amortization
+        bd.reconfig *= amortization
+        return RunResult(
+            machine=self.name,
+            app=app.name,
+            interactions=n,
+            breakdown=bd,
+            secure=sec_stats,
+            insecure=ins_stats,
+            secure_cores=st.secure_cores,
+            insecure_cores=st.insecure_cores,
+            predictor_evals=st.predictor_evals,
+        )
+
+    def _interaction(
+        self,
+        app: AppSpec,
+        st: Setup,
+        sec_proc: WorkloadProcess,
+        ins_proc: WorkloadProcess,
+        rng,
+        index: int,
+        counted: bool,
+        bd: Breakdown,
+        sec_stats: ProcessStats,
+        ins_stats: ProcessStats,
+    ) -> None:
+        ts = app.time_scale
+
+        # Insecure producer computes and posts the input message.
+        tr_ins = ins_proc.interaction_trace(rng, index)
+        res_ins = self.hier.run_trace(st.ctx_insecure, tr_ins.addrs, tr_ins.writes)
+        t_ins = self._process_time(res_ins, tr_ins, ins_proc, len(st.ctx_insecure.cores))
+        ipc_cycles = st.ipc.send(st.ctx_insecure, app.ipc_bytes)
+
+        entry = self._secure_entry(app, st)
+
+        # Secure consumer picks the message up, computes, posts the reply.
+        ipc_cycles += st.ipc.recv(st.ctx_secure, app.ipc_bytes)
+        tr_sec = sec_proc.interaction_trace(rng, index)
+        res_sec = self.hier.run_trace(st.ctx_secure, tr_sec.addrs, tr_sec.writes)
+        t_sec = self._process_time(res_sec, tr_sec, sec_proc, len(st.ctx_secure.cores))
+        ipc_cycles += st.ipc.send(st.ctx_secure, app.ipc_reply_bytes)
+
+        exit_ = self._secure_exit(app, st)
+
+        ipc_cycles += st.ipc.recv(st.ctx_insecure, app.ipc_reply_bytes)
+
+        if counted:
+            bd.compute += (t_ins + t_sec) * ts
+            bd.ipc += ipc_cycles
+            bd.crossing += entry.crossing + exit_.crossing
+            bd.purge += entry.purge + exit_.purge
+            self._accumulate(ins_stats, res_ins, t_ins * ts)
+            self._accumulate(sec_stats, res_sec, t_sec * ts)
+
+    def _process_time(
+        self,
+        res: TraceResult,
+        trace: Trace,
+        proc: WorkloadProcess,
+        n_alloc: int,
+    ) -> float:
+        """Per-interaction cycles for one process (representative-core
+        time, parallel scaling, MC queueing)."""
+        cpi = self.config.core.base_cpi
+        t_rep = trace.instructions * cpi + res.mem_cycles
+        n_used, factor = proc.profile.scalability.best_factor(max(1, n_alloc))
+        t = t_rep * factor
+        service = self.config.mem.mc_service_latency
+        if t > 0:
+            extra = 0.0
+            for mc, reqs in res.mc_requests.items():
+                if reqs:
+                    extra += self.hier.controllers[mc].queue_delay(reqs, t) * reqs
+            t += extra / max(1, n_used)
+        return t
+
+    @staticmethod
+    def _accumulate(stats: ProcessStats, res: TraceResult, cycles: float) -> None:
+        stats.accesses += res.accesses
+        stats.l1_misses += res.l1_misses
+        stats.l2_accesses += res.l2_accesses
+        stats.l2_misses += res.l2_misses
+        stats.tlb_misses += res.tlb_misses
+        stats.compute_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Shared setup helpers
+    # ------------------------------------------------------------------
+    def _make_context(
+        self,
+        name: str,
+        domain: str,
+        cores,
+        slices,
+        controllers,
+        regions,
+        homing: str,
+        rep_core: int = -1,
+        replication: bool = False,
+        numa_mc: bool = False,
+    ) -> ProcessContext:
+        vm = VirtualMemory(name, self.hier.address_space, list(regions))
+        return ProcessContext(
+            name=name,
+            domain=domain,
+            vm=vm,
+            cores=list(cores),
+            slices=list(slices),
+            controllers=list(controllers),
+            homing=homing,
+            rep_core=rep_core,
+            replication=replication,
+            numa_mc=numa_mc,
+        )
+
+    def _attest(self, sec_proc: WorkloadProcess, bd: Breakdown) -> None:
+        """Enroll + admit the secure process (one-time cost)."""
+        image = sec_proc.profile.code_image or sec_proc.name.encode()
+        self.kernel.enroll(sec_proc.name, image)
+        self.kernel.admit(sec_proc.name, image)
+        bd.attestation += cycles_from_us(self.config.costs.attestation_us)

@@ -1,0 +1,41 @@
+"""The insecure baseline: no security primitives at all.
+
+Both processes time-share every core, the L2 is hash-homed across all
+slices, all controllers serve everyone, and boundary crossings are free.
+This is the normalization base of the paper's Figure 1(a).
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import Machine, Setup
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.isolation import UnifiedPolicy
+from repro.sim.stats import Breakdown
+from repro.workloads.base import AppSpec, WorkloadProcess
+
+
+class InsecureMachine(Machine):
+    name = "insecure"
+    strong_isolation = False
+
+    def _setup(self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng) -> Setup:
+        plan = UnifiedPolicy().plan(self.config, self.mesh, self.hier.dram)
+        ctx_sec = self._make_context(
+            sec.name, "secure", plan.secure_cores, plan.secure_slices,
+            plan.secure_mcs, plan.secure_regions, plan.homing, rep_core=0,
+            replication=True, numa_mc=True,
+        )
+        ctx_ins = self._make_context(
+            ins.name, "insecure", plan.insecure_cores, plan.insecure_slices,
+            plan.insecure_mcs, plan.insecure_regions, plan.homing, rep_core=1,
+            replication=True, numa_mc=True,
+        )
+        ipc = SharedIpcBuffer(self.hier, ctx_ins, plan.shared_region)
+        return Setup(
+            ctx_secure=ctx_sec,
+            ctx_insecure=ctx_ins,
+            ipc=ipc,
+            breakdown=Breakdown(),
+            secure_cores=len(plan.secure_cores),
+            insecure_cores=len(plan.insecure_cores),
+        )

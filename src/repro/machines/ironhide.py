@@ -1,0 +1,203 @@
+"""The IRONHIDE machine (§III-B).
+
+Two spatially isolated clusters of cores: the attested secure process is
+pinned to the secure cluster, the insecure process to the other.  Each
+cluster owns its cores' private L1s/TLBs, its cores' L2 slices (local
+homing), and dedicated memory controllers with their DRAM regions; the
+NoC confines each cluster's traffic.  Interactions flow through the
+shared IPC buffer without any enclave entry/exit, so no per-interaction
+purging ever happens.
+
+Dynamic hardware isolation: the run starts at the balanced 32/32
+configuration, the secure kernel calibrates both processes, the core
+re-allocation predictor picks a single load-balanced binding, and one
+reconfiguration event (stall + flush of re-allocated cores + page
+re-homing; ~15 ms full-scale) moves the machine there.  Reconfiguration
+is bounded to once per application invocation to cap the scheduling
+side channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.machines.base import Machine, Setup
+from repro.model.perf_model import (
+    PerfModel,
+    ProcessCalibration,
+    calibrate_l2_curve,
+    calibration_from_probes,
+)
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.isolation import SpatialClusterPolicy
+from repro.secure.predictor import GradientHeuristicPredictor, PredictorResult
+from repro.secure.purge import PurgeModel
+from repro.secure.reconfig import ReconfigEngine
+from repro.sim.stats import Breakdown, ProcessStats
+from repro.workloads.base import AppSpec, WorkloadProcess
+
+_CALIBRATION_SEED = 0xC411B
+
+
+class IronhideMachine(Machine):
+    name = "ironhide"
+    strong_isolation = True
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        predictor=None,
+        initial_split: Optional[int] = None,
+        calibration_cache: Optional[Dict] = None,
+        initial_warmup: int = 2,
+        post_setup_warmup: int = 2,
+    ):
+        super().__init__(config, post_setup_warmup=post_setup_warmup)
+        self.predictor = predictor or GradientHeuristicPredictor()
+        self.perf_model = PerfModel(self.config)
+        self.initial_split = initial_split
+        self.initial_warmup = initial_warmup
+        self.calibration_cache = calibration_cache if calibration_cache is not None else {}
+        self.reconfig_report = None
+        self.predictor_result: Optional[PredictorResult] = None
+
+    # ------------------------------------------------------------------
+    def _setup(self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng) -> Setup:
+        bd = Breakdown()
+        self._attest(sec, bd)
+
+        n = self.config.n_cores
+        init_n = self.initial_split if self.initial_split is not None else n // 2
+        plan = SpatialClusterPolicy(init_n).plan(self.config, self.mesh, self.hier.dram)
+        ctx_sec = self._make_context(
+            sec.name, "secure", plan.secure_cores, plan.secure_slices,
+            plan.secure_mcs, plan.secure_regions, plan.homing,
+        )
+        ctx_ins = self._make_context(
+            ins.name, "insecure", plan.insecure_cores, plan.insecure_slices,
+            plan.insecure_mcs, plan.insecure_regions, plan.homing,
+        )
+        ipc = SharedIpcBuffer(self.hier, ctx_ins, plan.shared_region)
+        st = Setup(
+            ctx_secure=ctx_sec,
+            ctx_insecure=ctx_ins,
+            ipc=ipc,
+            breakdown=bd,
+            secure_cores=init_n,
+            insecure_cores=n - init_n,
+        )
+
+        # Warm up at the initial binding (paper: processes start 32/32).
+        throwaway_sec = ProcessStats()
+        throwaway_ins = ProcessStats()
+        for k in range(self.initial_warmup):
+            self._interaction(
+                app, st, sec, ins, rng, -10_000 + k, False, bd, throwaway_sec, throwaway_ins
+            )
+
+        # Calibrate, predict, reconfigure once.
+        calib_sec, calib_ins = self._calibrations(app, sec, ins)
+        candidates = SpatialClusterPolicy.valid_splits(self.config, self.mesh)
+        result = self.predictor.choose(
+            self._make_evaluator(calib_sec, calib_ins), candidates
+        )
+        self.predictor_result = result
+        st.predictor_evals = result.evaluations
+        n_sec = result.n_secure
+        if n_sec != init_n:
+            self._apply_binding(app, st, n_sec)
+        st.secure_cores = n_sec
+        st.insecure_cores = n - n_sec
+        return st
+
+    def _apply_binding(self, app: AppSpec, st: Setup, n_sec: int) -> None:
+        """One dynamic-hardware-isolation event to the chosen binding."""
+        new_plan = SpatialClusterPolicy(n_sec).plan(self.config, self.mesh, self.hier.dram)
+        old_secure = set(st.ctx_secure.cores)
+        reallocated = old_secure.symmetric_difference(new_plan.secure_cores)
+
+        ctx_sec, ctx_ins = st.ctx_secure, st.ctx_insecure
+        ctx_sec.cores = list(new_plan.secure_cores)
+        ctx_sec.slices = list(new_plan.secure_slices)
+        ctx_sec.controllers = list(new_plan.secure_mcs)
+        ctx_sec.vm.set_regions(new_plan.secure_regions)
+        ctx_ins.cores = list(new_plan.insecure_cores)
+        ctx_ins.slices = list(new_plan.insecure_slices)
+        ctx_ins.controllers = list(new_plan.insecure_mcs)
+        ctx_ins.vm.set_regions(new_plan.insecure_regions)
+
+        engine = ReconfigEngine(self.config, max_events=1)
+        report = engine.reconfigure(
+            self.hier, [ctx_sec, ctx_ins], reallocated, page_scale=app.page_scale
+        )
+        st.ipc.rehome(ctx_ins)
+        self.reconfig_report = report
+        st.breakdown.reconfig += report.total_cycles
+
+    # ------------------------------------------------------------------
+    def _make_evaluator(self, calib_sec: ProcessCalibration, calib_ins: ProcessCalibration):
+        n = self.config.n_cores
+
+        def evaluate(n_sec: int) -> float:
+            sec_mcs, ins_mcs = SpatialClusterPolicy.mc_counts(self.mesh, n, n_sec)
+            if not sec_mcs or not ins_mcs:
+                return float("inf")
+            return self.perf_model.app_completion(
+                calib_sec, calib_ins,
+                n_secure_cores=n_sec, n_secure_slices=n_sec, n_secure_mcs=sec_mcs,
+                n_insecure_cores=n - n_sec, n_insecure_slices=n - n_sec,
+                n_insecure_mcs=ins_mcs,
+            )
+
+        return evaluate
+
+    def _calibrations(
+        self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess
+    ) -> Tuple[ProcessCalibration, ProcessCalibration]:
+        key = (app.name, self.config.n_cores, self.config.l2_slice.size_bytes)
+        cached = self.calibration_cache.get(key)
+        if cached is not None:
+            return cached
+        n = self.config.n_cores
+        counts = sorted(
+            {c for c in (1, 2, 4, 8, 16, 24, 32, 48, n - 2) if 1 <= c <= n - 1}
+        )
+        calibs = []
+        for proc in (sec, ins):
+            crng = np.random.default_rng(_CALIBRATION_SEED)
+            interactions = 2
+            warm = proc.calibration_trace(crng, interactions, start=0)
+            measure = proc.calibration_trace(crng, interactions, start=interactions)
+            probes = calibrate_l2_curve(self.config, warm, measure, counts)
+            calibs.append(
+                calibration_from_probes(
+                    self.config, proc.name, measure, probes,
+                    proc.profile.scalability, interactions,
+                    appetite_bytes=proc.profile.l2_appetite_bytes,
+                    capacity_beta=proc.profile.capacity_beta,
+                )
+            )
+        pair = (calibs[0], calibs[1])
+        self.calibration_cache[key] = pair
+        return pair
+
+    # ------------------------------------------------------------------
+    def context_switch_secure(self, app: AppSpec, st: Setup) -> float:
+        """Context switch between mutually distrusting secure processes.
+
+        Secure processes of *different* applications time-multiplex the
+        secure cluster; the per-core resources and the secure cluster's
+        controller queues are purged (§III-B1/B2).  Returns cycles.
+        """
+        report = self.purge_model.purge(
+            self.hier,
+            cores=st.ctx_secure.cores,
+            l2_slices=st.ctx_secure.slices,
+            controllers=st.ctx_secure.controllers,
+            dirty_scale=app.footprint_scale,
+        )
+        return float(report.total_cycles)

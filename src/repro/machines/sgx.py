@@ -1,0 +1,54 @@
+"""The SGX-like machine (§IV-A1).
+
+Each enclave entry (ECALL) and exit (OCALL) flushes the core pipeline
+and pays the memory-encryption/integrity cost — a constant 5 us, the
+upper end of HotCalls' measurement, exactly as the paper injects it.
+Nothing is partitioned and nothing is purged: private caches, shared L2
+slices, TLBs and DRAM remain temporally shared, so the secure process's
+microarchitectural footprint stays exposed (the attack harnesses
+demonstrate the resulting leakage).
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import CrossingCost, Machine, Setup
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.isolation import UnifiedPolicy
+from repro.sim.stats import Breakdown
+from repro.workloads.base import AppSpec, WorkloadProcess
+
+
+class SgxMachine(Machine):
+    name = "sgx"
+    strong_isolation = False
+
+    def _setup(self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng) -> Setup:
+        plan = UnifiedPolicy().plan(self.config, self.mesh, self.hier.dram)
+        ctx_sec = self._make_context(
+            sec.name, "secure", plan.secure_cores, plan.secure_slices,
+            plan.secure_mcs, plan.secure_regions, plan.homing, rep_core=0,
+            replication=True, numa_mc=True,
+        )
+        ctx_ins = self._make_context(
+            ins.name, "insecure", plan.insecure_cores, plan.insecure_slices,
+            plan.insecure_mcs, plan.insecure_regions, plan.homing, rep_core=1,
+            replication=True, numa_mc=True,
+        )
+        bd = Breakdown()
+        self._attest(sec, bd)
+        self.enclaves.create(sec.name)
+        ipc = SharedIpcBuffer(self.hier, ctx_ins, plan.shared_region)
+        return Setup(
+            ctx_secure=ctx_sec,
+            ctx_insecure=ctx_ins,
+            ipc=ipc,
+            breakdown=bd,
+            secure_cores=len(plan.secure_cores),
+            insecure_cores=len(plan.insecure_cores),
+        )
+
+    def _secure_entry(self, app: AppSpec, st: Setup) -> CrossingCost:
+        return CrossingCost(crossing=self.enclaves.enter(st.ctx_secure.name))
+
+    def _secure_exit(self, app: AppSpec, st: Setup) -> CrossingCost:
+        return CrossingCost(crossing=self.enclaves.exit(st.ctx_secure.name))

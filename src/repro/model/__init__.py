@@ -1,0 +1,17 @@
+"""Analytic performance model backing the core re-allocation predictor."""
+
+from repro.model.perf_model import (
+    PerfModel,
+    ProcessCalibration,
+    calibrate_l2_curve,
+    calibration_from_probes,
+)
+from repro.model.speedup import ScalabilityProfile
+
+__all__ = [
+    "PerfModel",
+    "ProcessCalibration",
+    "calibrate_l2_curve",
+    "calibration_from_probes",
+    "ScalabilityProfile",
+]

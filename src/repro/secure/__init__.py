@@ -1,0 +1,41 @@
+"""The security layer: enclaves, purging, attestation, isolation,
+IPC, the speculative-access guard, dynamic hardware isolation and the
+core re-allocation predictor."""
+
+from repro.secure.enclave import Enclave, EnclaveManager
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.isolation import (
+    ClusterPlan,
+    SpatialClusterPolicy,
+    StaticPartitionPolicy,
+    UnifiedPolicy,
+)
+from repro.secure.kernel import AttestationReport, SecureKernel
+from repro.secure.predictor import (
+    FixedVariationPredictor,
+    GradientHeuristicPredictor,
+    OptimalPredictor,
+)
+from repro.secure.purge import PurgeModel, PurgeReport
+from repro.secure.reconfig import ReconfigEngine, ReconfigReport
+from repro.secure.spectre_guard import SpectreGuard
+
+__all__ = [
+    "Enclave",
+    "EnclaveManager",
+    "SharedIpcBuffer",
+    "ClusterPlan",
+    "SpatialClusterPolicy",
+    "StaticPartitionPolicy",
+    "UnifiedPolicy",
+    "AttestationReport",
+    "SecureKernel",
+    "FixedVariationPredictor",
+    "GradientHeuristicPredictor",
+    "OptimalPredictor",
+    "PurgeModel",
+    "PurgeReport",
+    "ReconfigEngine",
+    "ReconfigReport",
+    "SpectreGuard",
+]

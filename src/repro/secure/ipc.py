@@ -1,0 +1,122 @@
+"""Shared inter-process communication buffer.
+
+Interactions between secure and insecure processes flow through a shared
+memory ring (the paper follows MI6/HotCalls).  Strong isolation is
+preserved by construction: the buffer's pages live in a DRAM region on
+the *insecure* side and are homed in the insecure process's L2 slices,
+so the insecure process never touches secure state — the secure process
+reaches out instead, which is legal because shared data is, by
+definition, insecure.
+
+The buffer performs *real* accesses through the memory hierarchy: a send
+writes the payload's cache lines, a receive reads them, both charged
+with the sender/receiver's actual NoC distance to the buffer's home
+slice.  This keeps the cache side effects (and the cross-cluster traffic
+that IRONHIDE's network isolation must explicitly authorize) visible to
+the rest of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.errors import IPCError
+
+
+@dataclass
+class IpcStats:
+    messages: int = 0
+    bytes_moved: int = 0
+    cycles: int = 0
+
+
+class SharedIpcBuffer:
+    """A ring buffer in shared (insecure-side) memory."""
+
+    def __init__(
+        self,
+        hier: MemoryHierarchy,
+        host_ctx: ProcessContext,
+        shared_region: int,
+        capacity_bytes: int = 64 * 1024,
+        home_slice: Optional[int] = None,
+    ):
+        if capacity_bytes < hier.config.line_bytes:
+            raise IPCError("IPC buffer smaller than one cache line")
+        self.hier = hier
+        self.capacity = capacity_bytes
+        self.line_bytes = hier.config.line_bytes
+        self._head = 0
+        self._tail = 0
+        self.stats = IpcStats()
+
+        # Allocate and pre-home the buffer pages on the insecure side.
+        self._vm = VirtualMemory("ipc", hier.address_space, [shared_region])
+        page_bytes = hier.config.page_bytes
+        n_pages = -(-capacity_bytes // page_bytes)
+        vpages = np.arange(n_pages, dtype=np.int64)
+        home = home_slice if home_slice is not None else host_ctx.slices[0]
+        host_view = replace(host_ctx, vm=self._vm, slices=[home], homing="local", _rr_next=0)
+        frames = self._vm.ensure_mapped(vpages)
+        hier.ensure_homed(frames, host_view)
+        hier.shared_frames.update(int(f) for f in frames)
+        self.home_slice = home
+
+    def _transfer(self, ctx: ProcessContext, offset: int, size: int, write: bool) -> int:
+        """Replay the buffer accesses through ``ctx``'s core; returns cycles."""
+        if size <= 0:
+            raise IPCError("IPC transfer size must be positive")
+        if size > self.capacity:
+            raise IPCError(f"message of {size}B exceeds buffer capacity {self.capacity}B")
+        start = offset % self.capacity
+        addrs = (start + np.arange(0, size, self.line_bytes, dtype=np.int64)) % self.capacity
+        writes = np.ones(len(addrs), dtype=np.int8) if write else None
+        view = replace(ctx, vm=self._vm, _rr_next=0)
+        result = self.hier.run_trace(view, addrs, writes)
+        # The request/response round trip to the buffer's home slice.
+        hop = self.hier.config.noc.hop_latency + self.hier.config.noc.router_latency
+        dist = int(self.hier.mesh.core_distances[ctx.rep_core][self.home_slice])
+        cycles = result.mem_cycles + 2 * hop * dist
+        self.stats.cycles += cycles
+        self.stats.bytes_moved += size
+        return cycles
+
+    def send(self, ctx: ProcessContext, size_bytes: int) -> int:
+        """Write a message into the ring; returns the cycle cost."""
+        cycles = self._transfer(ctx, self._head, size_bytes, write=True)
+        self._head += size_bytes
+        self.stats.messages += 1
+        return cycles
+
+    def recv(self, ctx: ProcessContext, size_bytes: int) -> int:
+        """Read a message out of the ring; returns the cycle cost."""
+        if self._tail + size_bytes > self._head:
+            raise IPCError("IPC receive overruns unwritten data")
+        cycles = self._transfer(ctx, self._tail, size_bytes, write=False)
+        self._tail += size_bytes
+        return cycles
+
+    def rehome(self, host_ctx: ProcessContext, home_slice: Optional[int] = None) -> int:
+        """Move the buffer's home slice (cluster reconfiguration support).
+
+        After IRONHIDE re-allocates cores, the buffer must remain homed
+        in an *insecure*-cluster slice; returns the lines evicted from
+        the old home.
+        """
+        home = home_slice if home_slice is not None else host_ctx.slices[0]
+        if home == self.home_slice:
+            return 0
+        view = replace(host_ctx, vm=self._vm, slices=[home], homing="local", _rr_next=0)
+        frames = list(self._vm.page_table.values())
+        evicted = self.hier.rehome_frames(frames, view)
+        self.home_slice = home
+        return evicted
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._head - self._tail

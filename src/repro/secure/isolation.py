@@ -1,0 +1,199 @@
+"""Strong-isolation policies: how hardware is divided between domains.
+
+A policy turns a machine configuration (and, for IRONHIDE, a cluster
+split) into a :class:`ClusterPlan` — the concrete entitlement of each
+security domain: which cores it runs on, which L2 slices may home its
+data, which memory controllers and DRAM regions serve it, and which
+tiles its network packets may transit.
+
+* :class:`UnifiedPolicy` — no isolation (insecure baseline and the
+  SGX-like machine): everything is temporally shared, data is spread by
+  hash-for-homing over all slices.
+* :class:`StaticPartitionPolicy` — multicore MI6: cores are time-shared
+  (with purging), but L2 slices and DRAM regions are statically split in
+  half; controllers stay shared (their queues are purged instead).
+* :class:`SpatialClusterPolicy` — IRONHIDE: two spatially disjoint
+  clusters of cores, each with its own slices, controllers and regions;
+  the NoC is confined per cluster.
+
+Cores are allocated as a row-major prefix (secure) and suffix
+(insecure).  With the controllers anchored at the row ends this
+guarantees each cluster always contains the anchor tile of at least one
+of its controllers, so even one-core clusters (the paper's <TC, GRAPH>
+runs TC on two cores) reach memory without transiting foreign tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.arch.dram import DramSystem
+from repro.arch.mesh import MeshTopology
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+
+
+@dataclass
+class ClusterPlan:
+    """Concrete hardware entitlement for the two security domains."""
+
+    secure_cores: List[int]
+    insecure_cores: List[int]
+    secure_slices: List[int]
+    insecure_slices: List[int]
+    secure_mcs: List[int]
+    insecure_mcs: List[int]
+    secure_regions: List[int]
+    insecure_regions: List[int]
+    shared_region: int
+    time_shared: bool
+    homing: str
+    secure_network: Optional[FrozenSet[int]] = None
+    insecure_network: Optional[FrozenSet[int]] = None
+
+    @property
+    def n_secure(self) -> int:
+        return len(self.secure_cores)
+
+    @property
+    def n_insecure(self) -> int:
+        return len(self.insecure_cores)
+
+
+class UnifiedPolicy:
+    """No partitioning: the whole machine is one shared pool."""
+
+    name = "unified"
+
+    def plan(self, config: SystemConfig, mesh: MeshTopology, dram: DramSystem) -> ClusterPlan:
+        cores = list(range(config.n_cores))
+        mcs = list(range(config.mem.n_controllers))
+        regions = list(range(config.mem.n_regions))
+        return ClusterPlan(
+            secure_cores=cores,
+            insecure_cores=cores,
+            secure_slices=cores,
+            insecure_slices=cores,
+            secure_mcs=mcs,
+            insecure_mcs=mcs,
+            secure_regions=regions,
+            insecure_regions=regions,
+            shared_region=regions[-1],
+            time_shared=True,
+            homing="hash",
+        )
+
+
+class StaticPartitionPolicy:
+    """MI6: static halves of the shared cache and DRAM regions.
+
+    Cores (and their L1s/TLBs) remain time-shared between the secure and
+    insecure processes and are purged at every enclave crossing.  Each
+    process's data is locally homed in its own half of the L2 slices.
+    DRAM regions are split; both halves stay interleaved across all
+    controllers (the paper's MI6 purges controller queues instead of
+    partitioning them).
+    """
+
+    name = "static-partition"
+
+    def plan(self, config: SystemConfig, mesh: MeshTopology, dram: DramSystem) -> ClusterPlan:
+        cores = list(range(config.n_cores))
+        half_tiles = config.n_cores // 2
+        mcs = list(range(config.mem.n_controllers))
+        n_regions = config.mem.n_regions
+        if n_regions < 2:
+            raise ConfigError("MI6 partitioning needs at least two DRAM regions")
+        secure_regions = list(range(n_regions // 2))
+        insecure_regions = list(range(n_regions // 2, n_regions))
+        plan = ClusterPlan(
+            secure_cores=cores,
+            insecure_cores=cores,
+            secure_slices=list(range(half_tiles)),
+            insecure_slices=list(range(half_tiles, config.n_cores)),
+            secure_mcs=mcs,
+            insecure_mcs=mcs,
+            secure_regions=secure_regions,
+            insecure_regions=insecure_regions,
+            shared_region=insecure_regions[-1],
+            time_shared=True,
+            homing="local",
+        )
+        dram.assign_owner(secure_regions, "secure")
+        dram.assign_owner(insecure_regions[:-1], "insecure")
+        dram.assign_owner([plan.shared_region], "shared")
+        return plan
+
+
+class SpatialClusterPolicy:
+    """IRONHIDE: spatially isolated secure and insecure clusters."""
+
+    name = "spatial-clusters"
+
+    def __init__(self, n_secure: int):
+        self.n_secure = n_secure
+
+    def plan(self, config: SystemConfig, mesh: MeshTopology, dram: DramSystem) -> ClusterPlan:
+        n = config.n_cores
+        n_sec = self.n_secure
+        if not 1 <= n_sec <= n - 1:
+            raise ConfigError(f"secure cluster size {n_sec} must be in [1, {n - 1}]")
+        secure_cores = list(range(n_sec))
+        insecure_cores = list(range(n_sec, n))
+
+        secure_set = frozenset(secure_cores)
+        insecure_set = frozenset(insecure_cores)
+        top = mesh.top_mcs
+        bottom = mesh.bottom_mcs
+        secure_mcs = [mc for mc in top if mesh.mc_anchor_core(mc) in secure_set]
+        insecure_mcs = [mc for mc in bottom if mesh.mc_anchor_core(mc) in insecure_set]
+        if not secure_mcs or not insecure_mcs:
+            raise ConfigError(
+                f"cluster split {n_sec}/{n - n_sec} leaves a cluster without "
+                f"a reachable memory controller"
+            )
+        secure_regions = dram.regions_for_controllers(secure_mcs)
+        insecure_regions = dram.regions_for_controllers(insecure_mcs)
+        plan = ClusterPlan(
+            secure_cores=secure_cores,
+            insecure_cores=insecure_cores,
+            secure_slices=list(secure_cores),
+            insecure_slices=list(insecure_cores),
+            secure_mcs=secure_mcs,
+            insecure_mcs=insecure_mcs,
+            secure_regions=secure_regions,
+            insecure_regions=insecure_regions,
+            shared_region=insecure_regions[-1],
+            time_shared=False,
+            homing="local",
+            secure_network=secure_set,
+            insecure_network=insecure_set,
+        )
+        dram.assign_owner(secure_regions, "secure")
+        dram.assign_owner(insecure_regions[:-1], "insecure")
+        dram.assign_owner([plan.shared_region], "shared")
+        return plan
+
+    @staticmethod
+    def mc_counts(mesh: MeshTopology, n_cores: int, n_sec: int) -> tuple:
+        """(secure, insecure) controller counts for a split, plan-free."""
+        secure_set = frozenset(range(n_sec))
+        insecure_set = frozenset(range(n_sec, n_cores))
+        sec = sum(1 for mc in mesh.top_mcs if mesh.mc_anchor_core(mc) in secure_set)
+        ins = sum(1 for mc in mesh.bottom_mcs if mesh.mc_anchor_core(mc) in insecure_set)
+        return sec, ins
+
+    @staticmethod
+    def valid_splits(config: SystemConfig, mesh: MeshTopology) -> List[int]:
+        """Secure-cluster sizes for which both clusters reach an MC."""
+        splits = []
+        n = config.n_cores
+        for n_sec in range(1, n):
+            secure_set = frozenset(range(n_sec))
+            insecure_set = frozenset(range(n_sec, n))
+            sec_ok = any(mesh.mc_anchor_core(mc) in secure_set for mc in mesh.top_mcs)
+            ins_ok = any(mesh.mc_anchor_core(mc) in insecure_set for mc in mesh.bottom_mcs)
+            if sec_ok and ins_ok:
+                splits.append(n_sec)
+        return splits

@@ -1,0 +1,92 @@
+"""The secure kernel (MI6's "security monitor" analogue).
+
+IRONHIDE runs a light-weight trusted kernel inside the secure cluster.
+It measures and attests secure processes before admitting them, and it
+orchestrates dynamic hardware isolation (via :mod:`repro.secure.reconfig`
+and the predictor).  Measurement is a SHA-256 digest over the process's
+code image; authenticity is an HMAC under the device key — the same
+measure-then-MAC structure real enclave monitors use, scaled down to
+what the simulation needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import AttestationError
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """Evidence that a measured process was admitted by the kernel."""
+
+    process_name: str
+    measurement: bytes
+    signature: bytes
+
+    def hexdigest(self) -> str:
+        return self.measurement.hex()
+
+
+@dataclass
+class EnrolledProcess:
+    name: str
+    measurement: bytes
+
+
+class SecureKernel:
+    """Signature checking and attestation for secure-cluster admission."""
+
+    def __init__(self, device_key: bytes = b"repro-ironhide-device-key"):
+        self._device_key = device_key
+        self._enrolled: Dict[str, EnrolledProcess] = {}
+        self.admissions = 0
+        self.rejections = 0
+
+    @staticmethod
+    def measure(code_image: bytes) -> bytes:
+        """SHA-256 measurement of a process's code image."""
+        return hashlib.sha256(code_image).digest()
+
+    def sign(self, measurement: bytes) -> bytes:
+        return hmac.new(self._device_key, measurement, hashlib.sha256).digest()
+
+    def enroll(self, name: str, code_image: bytes) -> AttestationReport:
+        """Provision a trusted process (done at application install)."""
+        measurement = self.measure(code_image)
+        self._enrolled[name] = EnrolledProcess(name, measurement)
+        return AttestationReport(name, measurement, self.sign(measurement))
+
+    def admit(self, name: str, code_image: bytes, signature: Optional[bytes] = None) -> AttestationReport:
+        """Verify a process before pinning it to the secure cluster.
+
+        Raises :class:`AttestationError` if the process was never
+        enrolled, its code image does not match the enrolled
+        measurement, or a presented signature fails verification.
+        """
+        enrolled = self._enrolled.get(name)
+        if enrolled is None:
+            self.rejections += 1
+            raise AttestationError(f"process {name!r} is not enrolled")
+        measurement = self.measure(code_image)
+        if not hmac.compare_digest(measurement, enrolled.measurement):
+            self.rejections += 1
+            raise AttestationError(
+                f"measurement mismatch for {name!r}: code image was modified"
+            )
+        expected = self.sign(measurement)
+        if signature is not None and not hmac.compare_digest(signature, expected):
+            self.rejections += 1
+            raise AttestationError(f"bad signature for {name!r}")
+        self.admissions += 1
+        return AttestationReport(name, measurement, expected)
+
+    def verify_report(self, report: AttestationReport) -> bool:
+        """Remote-verifier side: check a report's signature."""
+        return hmac.compare_digest(report.signature, self.sign(report.measurement))
+
+    def is_enrolled(self, name: str) -> bool:
+        return name in self._enrolled

@@ -1,0 +1,152 @@
+"""Core re-allocation predictors (§III-B4, Figure 8).
+
+The secure kernel picks a single core-level resource binding per
+interactive-application invocation (reconfiguring more often would widen
+the scheduling side channel, so the paper bounds it to once).  Three
+strategies are modeled:
+
+* :class:`GradientHeuristicPredictor` — the paper's gradient-based
+  heuristic search: hill-climb over cluster splits with a shrinking
+  step, starting from the balanced 32/32 configuration.
+* :class:`OptimalPredictor` — exhaustively evaluates every valid split
+  ("Optimal ... without any overheads").
+* :class:`FixedVariationPredictor` — Figure 8's ±x% sensitivity bars:
+  hand the secure cluster x% more (or fewer) cores than a base
+  predictor would.
+
+All of them consume an ``evaluate(n_secure) -> estimated cycles``
+callable (the analytic model) and a list of valid splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+Evaluator = Callable[[int], float]
+
+
+@dataclass
+class PredictorResult:
+    n_secure: int
+    estimated_cycles: float
+    evaluations: int
+
+
+class _Memo:
+    """Caches evaluator calls so search cost is measured honestly."""
+
+    def __init__(self, evaluate: Evaluator):
+        self._evaluate = evaluate
+        self.calls: Dict[int, float] = {}
+
+    def __call__(self, n: int) -> float:
+        if n not in self.calls:
+            self.calls[n] = self._evaluate(n)
+        return self.calls[n]
+
+    @property
+    def count(self) -> int:
+        return len(self.calls)
+
+
+class OptimalPredictor:
+    """Exhaustive search over every valid cluster split.
+
+    Splits within ``epsilon`` of the optimum are considered equivalent
+    and the *smallest* secure cluster among them is chosen: a smaller
+    secure cluster is a smaller trusted footprint, and on performance
+    plateaus (single-pass workloads like TC whose L2 curve is flat) this
+    is what hands the idle cores to the process that can use them — the
+    paper's <TC, GRAPH> runs TC on just two cores.
+    """
+
+    name = "optimal"
+
+    def __init__(self, epsilon: float = 0.02):
+        self.epsilon = epsilon
+
+    def choose(self, evaluate: Evaluator, candidates: Sequence[int]) -> PredictorResult:
+        if not candidates:
+            raise ConfigError("no valid cluster splits to choose from")
+        memo = _Memo(evaluate)
+        best_value = min(memo(n) for n in candidates)
+        threshold = best_value * (1.0 + self.epsilon)
+        best = min(n for n in candidates if memo(n) <= threshold)
+        return PredictorResult(best, memo(best), memo.count)
+
+
+class GradientHeuristicPredictor:
+    """Hill-climbing with a shrinking step (the paper's Heuristic)."""
+
+    name = "heuristic"
+
+    def __init__(self, initial: Optional[int] = None, epsilon: float = 0.02):
+        self.initial = initial
+        self.epsilon = epsilon
+
+    def choose(self, evaluate: Evaluator, candidates: Sequence[int]) -> PredictorResult:
+        if not candidates:
+            raise ConfigError("no valid cluster splits to choose from")
+        cands = sorted(candidates)
+        memo = _Memo(evaluate)
+        # Index-space hill climbing with a shrinking step.
+        if self.initial is not None and self.initial in cands:
+            pos = cands.index(self.initial)
+        else:
+            pos = len(cands) // 2
+        step = max(1, len(cands) // 4)
+        while True:
+            here = memo(cands[pos])
+            moved = False
+            for direction in (-1, 1):
+                npos = pos + direction * step
+                if 0 <= npos < len(cands) and memo(cands[npos]) < here * (1.0 - 1e-9):
+                    pos = npos
+                    moved = True
+                    break
+            if not moved:
+                if step == 1:
+                    break
+                step = max(1, step // 2)
+        # Plateau shrink: walk toward a smaller secure cluster while the
+        # estimate stays within epsilon (smaller trusted footprint, spare
+        # cores go to the insecure process).
+        best_value = memo(cands[pos])
+        threshold = best_value * (1.0 + self.epsilon)
+        while pos > 0 and memo(cands[pos - 1]) <= threshold:
+            pos -= 1
+        return PredictorResult(cands[pos], memo(cands[pos]), memo.count)
+
+
+class FixedVariationPredictor:
+    """±x% perturbation of a base predictor's choice (Figure 8)."""
+
+    name = "fixed-variation"
+
+    def __init__(self, percent: float, base: Optional[OptimalPredictor] = None):
+        self.percent = percent
+        self.base = base or OptimalPredictor()
+
+    def choose(self, evaluate: Evaluator, candidates: Sequence[int]) -> PredictorResult:
+        base_result = self.base.choose(evaluate, candidates)
+        target = base_result.n_secure * (1.0 + self.percent / 100.0)
+        cands = sorted(candidates)
+        chosen = min(cands, key=lambda n: (abs(n - target), n))
+        return PredictorResult(chosen, evaluate(chosen), base_result.evaluations + 1)
+
+
+class StaticPredictor:
+    """Always the same split (initial 32/32 configuration, ablations)."""
+
+    name = "static"
+
+    def __init__(self, n_secure: int):
+        self.n_secure = n_secure
+
+    def choose(self, evaluate: Evaluator, candidates: Sequence[int]) -> PredictorResult:
+        cands = sorted(candidates)
+        chosen = min(cands, key=lambda n: (abs(n - self.n_secure), n))
+        return PredictorResult(chosen, evaluate(chosen), 1)

@@ -1,0 +1,116 @@
+"""Microarchitecture-state purge cost model (MI6 strong isolation).
+
+The multicore MI6 baseline purges on every enclave entry and exit:
+
+1. read a dummy buffer the size of the L1 into each private L1
+   (flush-and-invalidate; all cores purge in parallel),
+2. flush the TLBs (Tilera user commands, also parallel),
+3. issue a memory fence so dirty private data propagates to the L2
+   slices (``tmc_mem_fence``),
+4. purge the memory-controller queues/buffers, writing all modified
+   data back to DRAM (``tmc_mem_fence_node``).
+
+Steps 1–3 cost roughly the same regardless of workload; step 4 drains
+the *dirty footprint* through the controllers' DRAM write bandwidth, so
+its cost scales with how much data the interacting processes modified.
+That is why the paper measures ~0.19 ms per interaction for data-heavy
+user applications while OS-style interactions with tiny footprints purge
+far cheaper — the dynamic behaviour this model reproduces by reading the
+dirty state out of the simulated caches.
+
+``dirty_scale`` converts dirty-line counts from the (scaled-down)
+simulated traces back into full-size footprints; the machines pass the
+workload's trace scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.hierarchy import MemoryHierarchy
+from repro.config import SystemConfig
+
+
+@dataclass
+class PurgeReport:
+    """Cycle cost of one purge, by component."""
+
+    dummy_read_cycles: int = 0
+    tlb_flush_cycles: int = 0
+    l1_drain_cycles: int = 0
+    mc_drain_cycles: int = 0
+    pipeline_flush_cycles: int = 0
+    dirty_lines_drained: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.dummy_read_cycles
+            + self.tlb_flush_cycles
+            + self.l1_drain_cycles
+            + self.mc_drain_cycles
+            + self.pipeline_flush_cycles
+        )
+
+
+class PurgeModel:
+    """Computes purge costs and applies purge side effects."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self._dummy_line_latency = config.costs.dummy_read_line_cycles
+        self.purge_count = 0
+        self.total_cycles = 0
+
+    def purge(
+        self,
+        hier: MemoryHierarchy,
+        cores: Sequence[int],
+        l2_slices: Sequence[int],
+        controllers: Sequence[int],
+        dirty_scale: float = 1.0,
+    ) -> PurgeReport:
+        """Purge private state of ``cores`` and drain modified data.
+
+        Invalidate the L1s/TLBs of the given cores, write back dirty L2
+        data homed in ``l2_slices`` and drain the given controllers'
+        queues.  Returns the cycle cost; the caches are left cold/clean,
+        so subsequent trace replay sees the thrashing the paper reports.
+        """
+        cfg = self.config
+        report = PurgeReport()
+        report.pipeline_flush_cycles = cfg.costs.pipeline_flush_cycles
+
+        private = hier.purge_private(cores)
+        # Dummy-buffer read: every line reloaded, cores in parallel.
+        report.dummy_read_cycles = cfg.costs.dummy_buffer_lines * self._dummy_line_latency
+        report.tlb_flush_cycles = cfg.costs.tlb_flush_cycles
+        # Fence: dirty private lines propagate to their home slices; the
+        # slowest core bounds the parallel drain.
+        report.l1_drain_cycles = private["max_dirty"] * cfg.mem.writeback_drain_latency
+
+        # Controller purge: modified data (dirty L2 lines plus queued
+        # entries) is written to DRAM; controllers drain in parallel.
+        dirty_l2 = hier.clean_l2(l2_slices)
+        scaled = int(dirty_l2 * dirty_scale)
+        report.dirty_lines_drained = scaled
+        n_mcs = max(1, len(controllers))
+        per_mc = -(-scaled // n_mcs)
+        mc_cycles = 0
+        for mc in controllers:
+            mc_cycles = max(mc_cycles, hier.controllers[mc].purge(per_mc))
+        report.mc_drain_cycles = mc_cycles
+
+        self.purge_count += 1
+        self.total_cycles += report.total_cycles
+        return report
+
+    def estimate_fixed_cost(self) -> int:
+        """Workload-independent purge floor (dummy read + TLB + pipeline)."""
+        cfg = self.config
+        return (
+            cfg.costs.dummy_buffer_lines * self._dummy_line_latency
+            + cfg.costs.tlb_flush_cycles
+            + cfg.costs.pipeline_flush_cycles
+        )

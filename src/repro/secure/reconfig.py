@@ -1,0 +1,140 @@
+"""Dynamic hardware isolation: secure cluster reconfiguration.
+
+IRONHIDE lets the secure cluster give up or gain cores while keeping
+strong isolation (§III-B3).  Each reconfiguration event:
+
+1. stalls the system,
+2. flush-and-invalidates the private L1s/TLBs of every re-allocated
+   core (the multicore-MI6 purge mechanism),
+3. re-allocates the memory pages homed in the transferred L2 slices:
+   ``tmc_alloc_unmap`` → ``tmc_alloc_set_home`` → ``tmc_alloc_remap``
+   per page, evicting resident lines from the old home slice,
+4. migrates pages whose DRAM region changed owner (controller
+   re-partitioning across the cluster boundary).
+
+The paper measures the whole one-time event at ~15 ms and bounds
+reconfiguration to **once per interactive-application invocation** so
+that the scheduling side channel leaks at most a small constant; the
+engine enforces that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.units import cycles_from_us
+
+
+@dataclass
+class ReconfigReport:
+    """Cycle cost of one reconfiguration event, by component."""
+
+    stall_cycles: int = 0
+    flush_cycles: int = 0
+    rehome_cycles: int = 0
+    migrate_cycles: int = 0
+    pages_rehomed: int = 0
+    pages_migrated: int = 0
+    lines_evicted: int = 0
+    cores_reallocated: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.stall_cycles + self.flush_cycles + self.rehome_cycles + self.migrate_cycles
+        )
+
+
+class ReconfigEngine:
+    """Executes (and prices) cluster reconfiguration events."""
+
+    def __init__(self, config: SystemConfig, max_events: int = 1):
+        self.config = config
+        self.max_events = max_events
+        self.events = 0
+
+    def reconfigure(
+        self,
+        hier: MemoryHierarchy,
+        processes: Sequence[ProcessContext],
+        reallocated_cores: Iterable[int],
+        page_scale: float = 1.0,
+    ) -> ReconfigReport:
+        """Move to the bindings already recorded in ``processes``.
+
+        Each context must already carry its *new* slice/region/controller
+        entitlement; the engine re-homes every frame that no longer lives
+        in its owner's slices and migrates frames stranded in regions the
+        owner lost.  ``page_scale`` converts the scaled-down simulated
+        footprint into full-size page counts for the cost model.
+        """
+        if self.events >= self.max_events:
+            raise ReproError(
+                "cluster reconfiguration is limited to once per application "
+                "invocation (timing side-channel bound, §III-B3)"
+            )
+        self.events += 1
+        costs = self.config.costs
+        report = ReconfigReport()
+        report.stall_cycles = cycles_from_us(costs.reconfig_stall_us)
+
+        realloc = sorted(set(reallocated_cores))
+        report.cores_reallocated = len(realloc)
+        if realloc:
+            hier.purge_private(realloc)
+            # Cores flush in parallel: one dummy-buffer pass + TLB flush.
+            report.flush_cycles = (
+                costs.dummy_buffer_lines * costs.dummy_read_line_cycles
+                + costs.tlb_flush_cycles
+            )
+
+        page_cost = cycles_from_us(costs.reconfig_page_us)
+        for ctx in processes:
+            moved, migrated, evicted = self._relocate(hier, ctx)
+            report.pages_rehomed += moved
+            report.pages_migrated += migrated
+            report.lines_evicted += evicted
+            report.rehome_cycles += int(moved * page_cost * page_scale)
+            report.migrate_cycles += int(migrated * page_cost * page_scale)
+        report.rehome_cycles += report.lines_evicted * self.config.mem.writeback_drain_latency
+        return report
+
+    def _relocate(
+        self, hier: MemoryHierarchy, ctx: ProcessContext
+    ) -> Tuple[int, int, int]:
+        """Re-home/migrate one process's frames; returns counts."""
+        vm = ctx.vm
+        slices = set(ctx.slices)
+        fpr = hier.address_space.frames_per_region
+        rehome: List[int] = []
+        migrate: List[int] = []
+        for vpage, frame in list(vm.page_table.items()):
+            region_owner = hier.dram.owner_of(frame // fpr)
+            if region_owner not in ("unassigned", "shared", ctx.domain):
+                migrate.append(vpage)
+            elif int(hier.home_table[frame]) not in slices:
+                rehome.append(frame)
+        evicted = hier.rehome_frames(rehome, ctx) if rehome else 0
+        for vpage in migrate:
+            old_frame = vm.page_table.pop(vpage)
+            self._drop_frame_lines(hier, old_frame)
+            new_frame = vm.translate(vpage)
+            hier.ensure_homed(np.asarray([new_frame]), ctx)
+        return len(rehome), len(migrate), evicted
+
+    @staticmethod
+    def _drop_frame_lines(hier: MemoryHierarchy, frame: int) -> None:
+        home = int(hier.home_table[frame])
+        hier.home_table[frame] = -1
+        if home >= 0 and home in hier._l2:
+            lpp = hier.config.page_bytes // hier.config.line_bytes
+            cache = hier._l2[home]
+            base = frame * lpp
+            for line in range(base, base + lpp):
+                cache.evict_line(line)

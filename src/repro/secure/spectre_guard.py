@@ -1,0 +1,73 @@
+"""Hardware check against speculative microarchitecture state attacks.
+
+Adopted from MI6 (§III-A2): every access issued by an insecure process
+is checked, in the core pipeline, against the physical address ranges of
+the secure domain.  A matching access is *stalled* until the speculation
+resolves; if it resolves speculative it is discarded with **no**
+microarchitectural side effect (nothing is fetched, no cache state
+changes), and if it resolves non-speculative the protection exception
+fires.  Either way, a Spectre-style gadget cannot transmit secret-
+dependent state into the caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.dram import DramSystem
+from repro.errors import MemoryIsolationViolation, SpeculativeAccessBlocked
+
+
+@dataclass
+class GuardStats:
+    checked: int = 0
+    stalled: int = 0
+    discarded: int = 0
+    faulted: int = 0
+
+
+class SpectreGuard:
+    """Physical-range check for cross-domain (speculative) accesses."""
+
+    def __init__(self, dram: DramSystem, frames_per_region: int):
+        self.dram = dram
+        self.frames_per_region = frames_per_region
+        self.stats = GuardStats()
+
+    def check(self, domain: str, frame: int, speculative: bool) -> bool:
+        """Vet one access.  Returns True if the access may proceed.
+
+        Raises :class:`SpeculativeAccessBlocked` for a discarded
+        speculative access, :class:`MemoryIsolationViolation` for a
+        committed (non-speculative) cross-domain access.
+        """
+        self.stats.checked += 1
+        region = frame // self.frames_per_region
+        owner = self.dram.owner_of(region)
+        if owner in ("unassigned", "shared", domain):
+            return True
+        # Cross-domain: stall until resolution.
+        self.stats.stalled += 1
+        if speculative:
+            self.stats.discarded += 1
+            raise SpeculativeAccessBlocked(
+                f"speculative access by {domain!r} to region {region} "
+                f"(owner {owner!r}) discarded without state change"
+            )
+        self.stats.faulted += 1
+        raise MemoryIsolationViolation(
+            f"non-speculative access by {domain!r} to region {region} "
+            f"(owner {owner!r}) trapped"
+        )
+
+    def filter_frames(self, domain: str, frames: Sequence[int]) -> list:
+        """Drop frames the guard would discard (all-speculative batch)."""
+        allowed = []
+        for frame in frames:
+            try:
+                self.check(domain, int(frame), speculative=True)
+            except SpeculativeAccessBlocked:
+                continue
+            allowed.append(int(frame))
+        return allowed

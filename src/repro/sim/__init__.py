@@ -1,0 +1,6 @@
+"""Simulation support types: traces, statistics, run results."""
+
+from repro.sim.stats import Breakdown, RunResult
+from repro.sim.trace import Trace
+
+__all__ = ["Breakdown", "RunResult", "Trace"]

@@ -1,0 +1,121 @@
+"""Completion-time bookkeeping for application runs.
+
+The paper's Figure 6 splits each bar into a compute component and the
+security overheads (enclave entry/exit flushing for SGX, purging for MI6,
+the one-time re-allocation overhead for IRONHIDE).  :class:`Breakdown`
+carries exactly those components; :class:`RunResult` adds the cache
+behaviour needed for Figure 7 and the cluster size marker of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.units import ms_from_cycles, s_from_cycles
+
+
+@dataclass
+class Breakdown:
+    """Cycle counts by completion-time component."""
+
+    compute: float = 0.0
+    crossing: float = 0.0  # SGX-style entry/exit (pipeline flush + crypto)
+    purge: float = 0.0  # MI6-style microarchitecture state purging
+    reconfig: float = 0.0  # IRONHIDE one-time dynamic isolation
+    attestation: float = 0.0
+    ipc: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.crossing
+            + self.purge
+            + self.reconfig
+            + self.attestation
+            + self.ipc
+        )
+
+    @property
+    def security_overhead(self) -> float:
+        return self.total - self.compute
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute,
+            "crossing": self.crossing,
+            "purge": self.purge,
+            "reconfig": self.reconfig,
+            "attestation": self.attestation,
+            "ipc": self.ipc,
+        }
+
+
+@dataclass
+class ProcessStats:
+    """Per-process cache behaviour over a run."""
+
+    name: str = ""
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    tlb_misses: int = 0
+    compute_cycles: float = 0.0
+    cores: int = 0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one interactive application on one machine."""
+
+    machine: str
+    app: str
+    interactions: int
+    breakdown: Breakdown
+    secure: ProcessStats
+    insecure: ProcessStats
+    secure_cores: int = 0
+    insecure_cores: int = 0
+    predictor_evals: int = 0
+
+    @property
+    def completion_cycles(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def completion_ms(self) -> float:
+        return ms_from_cycles(self.completion_cycles)
+
+    @property
+    def completion_s(self) -> float:
+        return s_from_cycles(self.completion_cycles)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """Access-weighted private L1 miss rate across both processes."""
+        acc = self.secure.accesses + self.insecure.accesses
+        if not acc:
+            return 0.0
+        return (self.secure.l1_misses + self.insecure.l1_misses) / acc
+
+    @property
+    def l2_miss_rate(self) -> float:
+        acc = self.secure.l2_accesses + self.insecure.l2_accesses
+        if not acc:
+            return 0.0
+        return (self.secure.l2_misses + self.insecure.l2_misses) / acc
+
+    @property
+    def purge_share(self) -> float:
+        total = self.completion_cycles
+        return self.breakdown.purge / total if total else 0.0

@@ -1,0 +1,56 @@
+"""Access traces exchanged between workloads and machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """One interaction's memory behaviour for a single process.
+
+    ``addrs`` are virtual byte addresses; ``writes`` flags stores.
+    ``instr_per_access`` expresses how much non-memory work accompanies
+    each access (ALU-heavy kernels like AES have high values, pointer
+    chasing has low ones).
+    """
+
+    addrs: np.ndarray
+    writes: Optional[np.ndarray] = None
+    instr_per_access: float = 4.0
+
+    def __post_init__(self) -> None:
+        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
+        if self.writes is not None and len(self.writes) != len(self.addrs):
+            raise ValueError("writes must match addrs length")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def instructions(self) -> int:
+        return int(len(self.addrs) * self.instr_per_access)
+
+    @staticmethod
+    def concat(traces: Sequence["Trace"]) -> "Trace":
+        if not traces:
+            return Trace(np.empty(0, dtype=np.int64))
+        addrs = np.concatenate([t.addrs for t in traces])
+        if any(t.writes is not None for t in traces):
+            writes = np.concatenate(
+                [
+                    t.writes if t.writes is not None else np.zeros(len(t), dtype=np.int8)
+                    for t in traces
+                ]
+            )
+        else:
+            writes = None
+        ipa = float(np.mean([t.instr_per_access for t in traces]))
+        return Trace(addrs, writes, ipa)
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Unique lines touched times the line size."""
+        return len(np.unique(self.addrs // line_bytes)) * line_bytes

@@ -1,0 +1,48 @@
+"""Time and size units for the simulator.
+
+The simulated multicore runs at 1 GHz, so one cycle equals one
+nanosecond.  All latencies inside the simulator are expressed in cycles;
+these helpers convert to and from wall-clock units when interfacing with
+the paper's numbers (which are quoted in microseconds and milliseconds).
+"""
+
+from __future__ import annotations
+
+CLOCK_HZ = 1_000_000_000
+CYCLES_PER_US = CLOCK_HZ // 1_000_000
+CYCLES_PER_MS = CLOCK_HZ // 1_000
+CYCLES_PER_S = CLOCK_HZ
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def cycles_from_us(us: float) -> int:
+    """Convert microseconds to cycles."""
+    return int(round(us * CYCLES_PER_US))
+
+
+def cycles_from_ms(ms: float) -> int:
+    """Convert milliseconds to cycles."""
+    return int(round(ms * CYCLES_PER_MS))
+
+
+def cycles_from_s(s: float) -> int:
+    """Convert seconds to cycles."""
+    return int(round(s * CYCLES_PER_S))
+
+
+def us_from_cycles(cycles: float) -> float:
+    """Convert cycles to microseconds."""
+    return cycles / CYCLES_PER_US
+
+
+def ms_from_cycles(cycles: float) -> float:
+    """Convert cycles to milliseconds."""
+    return cycles / CYCLES_PER_MS
+
+
+def s_from_cycles(cycles: float) -> float:
+    """Convert cycles to seconds."""
+    return cycles / CYCLES_PER_S

@@ -1,0 +1,25 @@
+"""Benchmark interactive applications (§IV-B).
+
+User-level: real-time graph processing (GRAPH + SSSP/PR/TC), real-time
+perception and mission planning (VISION + ABC/ALEXNET/SQZ-NET), and
+query encryption (QUERY + AES).  OS-level: MEMCACHED and LIGHTTPD, each
+interacting with an untrusted OS process.
+
+Each process is implemented twice over: a *real algorithm* (used by the
+examples and to validate access statistics) and a vectorized
+*trace generator* whose access pattern is drawn from the same structures
+— the generators are what the machine models replay at scale.
+"""
+
+from repro.workloads.base import AppSpec, ProcessProfile, WorkloadProcess
+from repro.workloads.interactive import APPS, OS_APPS, USER_APPS, get_app
+
+__all__ = [
+    "AppSpec",
+    "ProcessProfile",
+    "WorkloadProcess",
+    "APPS",
+    "OS_APPS",
+    "USER_APPS",
+    "get_app",
+]

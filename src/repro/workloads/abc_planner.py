@@ -1,0 +1,123 @@
+"""Artificial Bee Colony mission planning (secure).
+
+A real self-adaptive ABC optimizer (employed/onlooker/scout phases over
+a population of candidate routes) drives the examples and tests; the
+trace generator models its memory behaviour: a small hot population,
+per-evaluation reads of a scenario cost field, and compute-heavy fitness
+arithmetic (high instructions per access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+
+
+@dataclass
+class AbcResult:
+    best: np.ndarray
+    best_fitness: float
+    evaluations: int
+
+
+def optimize(
+    objective: Callable[[np.ndarray], float],
+    dims: int,
+    bounds: Tuple[float, float],
+    rng: np.random.Generator,
+    colony_size: int = 20,
+    iterations: int = 50,
+    scout_limit: int = 10,
+) -> AbcResult:
+    """Minimize ``objective`` with the artificial bee colony algorithm."""
+    lo, hi = bounds
+    n_sources = colony_size // 2
+    sources = rng.uniform(lo, hi, size=(n_sources, dims))
+    fitness = np.array([objective(s) for s in sources])
+    trials = np.zeros(n_sources, dtype=np.int64)
+    evaluations = n_sources
+
+    def mutate(i: int) -> None:
+        nonlocal evaluations
+        k = int(rng.integers(0, n_sources - 1))
+        if k >= i:
+            k += 1
+        d = int(rng.integers(0, dims))
+        phi = rng.uniform(-1.0, 1.0)
+        candidate = sources[i].copy()
+        candidate[d] = np.clip(candidate[d] + phi * (candidate[d] - sources[k][d]), lo, hi)
+        f = objective(candidate)
+        evaluations += 1
+        if f < fitness[i]:
+            sources[i] = candidate
+            fitness[i] = f
+            trials[i] = 0
+        else:
+            trials[i] += 1
+
+    for _ in range(iterations):
+        for i in range(n_sources):  # employed bees
+            mutate(i)
+        # Onlookers pick sources proportionally to quality.
+        quality = 1.0 / (1.0 + fitness - fitness.min())
+        probs = quality / quality.sum()
+        for _ in range(n_sources):
+            mutate(int(rng.choice(n_sources, p=probs)))
+        # Scouts abandon exhausted sources.
+        for i in range(n_sources):
+            if trials[i] > scout_limit:
+                sources[i] = rng.uniform(lo, hi, size=dims)
+                fitness[i] = objective(sources[i])
+                trials[i] = 0
+                evaluations += 1
+
+    best = int(np.argmin(fitness))
+    return AbcResult(sources[best].copy(), float(fitness[best]), evaluations)
+
+
+def route_cost_objective(waypoints: int = 8) -> Callable[[np.ndarray], float]:
+    """A drivable-route cost surface for the ADAS planning scenario."""
+
+    def cost(x: np.ndarray) -> float:
+        # Smoothness + obstacle-field penalty (multi-modal, bounded).
+        smooth = float(np.sum(np.diff(x) ** 2))
+        obstacles = float(np.sum(np.sin(3.0 * x) ** 2))
+        return smooth + 0.5 * obstacles
+
+    return cost
+
+
+class AbcProcess(WorkloadProcess):
+    """Secure mission planning via artificial bee colony search."""
+
+    def __init__(self, accesses: int = 1800):
+        self.layout = syn.RegionLayout()
+        self.population = self.layout.add("population", 24 * KB)
+        self.cost_field = self.layout.add("cost_field", 512 * KB)
+        self.rng_state = self.layout.add("rng_state", 2 * KB)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "ABC", "secure", ScalabilityProfile(0.18, 0.012), b"abc-code-v1",
+            l2_appetite_bytes=540 * KB, capacity_beta=0.60,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        pop = syn.uniform_random(rng, self.population, lay.size("population"), int(n * 0.50))
+        field = syn.zipf(
+            rng, self.cost_field, lay.size("cost_field") // 64, 64, int(n * 0.40), alpha=1.3
+        )
+        state = syn.uniform_random(rng, self.rng_state, lay.size("rng_state"), n - int(n * 0.90))
+        addrs = syn.interleave(pop, field, state)
+        writes = syn.write_mask(rng, len(addrs), 0.25)
+        return Trace(addrs, writes, instr_per_access=12.0)

@@ -1,0 +1,244 @@
+"""AES-256: a complete implementation plus the secure-process model.
+
+The query-encryption application encrypts database queries under a
+256-bit key.  This module implements real AES-256 (key expansion,
+SubBytes/ShiftRows/MixColumns rounds, ECB and CTR modes) — validated
+against the FIPS-197 vectors in the test suite — and the matching trace
+generator: a small, intensely reused working set (S-box tables, round
+keys, block state) plus streaming query buffers.  That hot-table profile
+is exactly what makes AES the worst case for MI6's per-interaction
+purging: every crossing evicts tables that would otherwise live in L1
+indefinitely.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+
+# ---------------------------------------------------------------------------
+# Real AES-256
+# ---------------------------------------------------------------------------
+
+_SBOX: List[int] = []
+_INV_SBOX: List[int] = []
+
+
+def _initialize_sbox() -> None:
+    """Build the S-box from GF(2^8) inversion + affine transform."""
+    if _SBOX:
+        return
+    # Multiplicative inverses via exp/log tables over the AES field.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(b: int) -> int:
+        return 0 if b == 0 else exp[255 - log[b]]
+
+    for b in range(256):
+        inv = inverse(b)
+        s = inv
+        for _ in range(4):
+            inv = ((inv << 1) | (inv >> 7)) & 0xFF
+            s ^= inv
+        _SBOX.append(s ^ 0x63)
+    inv_box = [0] * 256
+    for i, s in enumerate(_SBOX):
+        inv_box[s] = i
+    _INV_SBOX.extend(inv_box)
+
+
+_initialize_sbox()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+def _xtime(b: int) -> int:
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """AES-256 key schedule: 15 round keys of 16 bytes each."""
+    if len(key) != 32:
+        raise ValueError("AES-256 requires a 32-byte key")
+    nk = 8
+    nr = 14
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (nr + 1)):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // nk - 1]
+        elif i % nk == 4:
+            temp = [_SBOX[b] for b in temp]
+        words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(nr + 1)]
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = _SBOX[state[i]]
+
+
+def _shift_rows(state: List[int]) -> None:
+    for r in range(1, 4):
+        row = [state[r + 4 * c] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            state[r + 4 * c] = row[c]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = _mul(col[0], 2) ^ _mul(col[1], 3) ^ col[2] ^ col[3]
+        state[4 * c + 1] = col[0] ^ _mul(col[1], 2) ^ _mul(col[2], 3) ^ col[3]
+        state[4 * c + 2] = col[0] ^ col[1] ^ _mul(col[2], 2) ^ _mul(col[3], 3)
+        state[4 * c + 3] = _mul(col[0], 3) ^ col[1] ^ col[2] ^ _mul(col[3], 2)
+
+
+def _add_round_key(state: List[int], rk: List[int]) -> None:
+    for i in range(16):
+        state[i] ^= rk[i]
+
+
+def encrypt_block(block: bytes, round_keys: List[List[int]]) -> bytes:
+    """Encrypt one 16-byte block with pre-expanded AES-256 keys."""
+    if len(block) != 16:
+        raise ValueError("AES block must be 16 bytes")
+    state = list(block)
+    _add_round_key(state, round_keys[0])
+    for rnd in range(1, 14):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[rnd])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[14])
+    return bytes(state)
+
+
+def encrypt_ecb(data: bytes, key: bytes) -> bytes:
+    """ECB over zero-padded data (query payloads are records)."""
+    round_keys = expand_key(key)
+    if len(data) % 16:
+        data = data + b"\x00" * (16 - len(data) % 16)
+    return b"".join(
+        encrypt_block(data[i : i + 16], round_keys) for i in range(0, len(data), 16)
+    )
+
+
+def encrypt_ctr(data: bytes, key: bytes, nonce: bytes) -> bytes:
+    """CTR mode (the streaming mode a query pipeline would use)."""
+    if len(nonce) != 8:
+        raise ValueError("nonce must be 8 bytes")
+    round_keys = expand_key(key)
+    out = bytearray()
+    for counter in range(-(-len(data) // 16)):
+        block = nonce + counter.to_bytes(8, "big")
+        stream = encrypt_block(block, round_keys)
+        chunk = data[16 * counter : 16 * counter + 16]
+        out.extend(b ^ s for b, s in zip(chunk, stream))
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Secure-process trace model
+# ---------------------------------------------------------------------------
+
+
+class AesProcess(WorkloadProcess):
+    """Secure AES-256 encryption of incoming queries."""
+
+    def __init__(self, accesses: int = 1400, query_bytes: int = 2 * KB):
+        self.layout = syn.RegionLayout()
+        self.tables = self.layout.add("tables", 8 * KB)  # S-box + T-tables
+        self.round_keys = self.layout.add("round_keys", 256)
+        self.state = self.layout.add("state", 2 * KB)
+        self.query_in = self.layout.add("query_in", 64 * KB)
+        self.cipher_out = self.layout.add("cipher_out", 64 * KB)
+        self.accesses = accesses
+        self.query_bytes = query_bytes
+        self.profile = ProcessProfile(
+            "AES", "secure", ScalabilityProfile(0.10, 0.010), b"aes256-code-v1",
+            l2_appetite_bytes=140 * KB, capacity_beta=0.70,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        # Table lookups dominate: 16 S-box reads per round per block.
+        tables = syn.uniform_random(rng, self.tables, lay.size("tables"), int(n * 0.55))
+        keys = syn.uniform_random(rng, self.round_keys, 240, int(n * 0.12))
+        state = syn.uniform_random(rng, self.state, lay.size("state"), int(n * 0.13))
+        qoff = (index * self.query_bytes) % lay.size("query_in")
+        qin = syn.sequential(self.query_in + qoff, self.query_bytes, 4, int(n * 0.10))
+        cout = syn.sequential(
+            self.cipher_out + qoff, self.query_bytes, 4, n - int(n * 0.90)
+        )
+        addrs = syn.interleave(tables, keys, state, qin, cout)
+        # Stores: the state region and the ciphertext output.
+        wmask = np.zeros(len(addrs), dtype=np.int8)
+        in_state = (addrs >= self.state) & (addrs < self.state + lay.size("state"))
+        in_out = (addrs >= self.cipher_out) & (addrs < self.cipher_out + lay.size("cipher_out"))
+        wmask[in_state] = (rng.random(int(in_state.sum())) < 0.5).astype(np.int8)
+        wmask[in_out] = 1
+        return Trace(addrs, wmask, instr_per_access=9.0)
+
+
+class QueryGenProcess(WorkloadProcess):
+    """Insecure YCSB-like query generator."""
+
+    def __init__(self, accesses: int = 1200):
+        self.layout = syn.RegionLayout()
+        self.keyspace = self.layout.add("keyspace", 768 * KB)
+        self.templates = self.layout.add("templates", 8 * KB)
+        self.out = self.layout.add("out", 64 * KB)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "QUERY", "insecure", ScalabilityProfile(0.10, 0.006), b"querygen-code-v1",
+            l2_appetite_bytes=840 * KB, capacity_beta=0.50,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        keys = syn.zipf(rng, self.keyspace, lay.size("keyspace") // 64, 64, int(n * 0.40), alpha=1.2)
+        tmpl = syn.sequential(self.templates, lay.size("templates"), 8, int(n * 0.30))
+        out = syn.sequential(
+            self.out + (index * 4 * KB) % lay.size("out"), 4 * KB, 8, n - int(n * 0.70)
+        )
+        addrs = syn.interleave(keys, tmpl, out)
+        writes = syn.write_mask(rng, len(addrs), 0.25)
+        return Trace(addrs, writes, instr_per_access=3.5)

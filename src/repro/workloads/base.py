@@ -1,0 +1,110 @@
+"""Workload abstractions shared by all benchmark applications.
+
+A :class:`WorkloadProcess` produces one access :class:`Trace` per
+interaction.  An :class:`AppSpec` pairs a secure process with an
+insecure one and carries the scaling parameters that map the simulated
+traces back to the full-size application:
+
+* ``time_scale`` — each simulated interaction stands for this many times
+  its own cycles of real work (the simulated trace is a representative
+  sub-sample of the real interaction's accesses);
+* ``footprint_scale`` — converts simulated dirty-line/page counts into
+  full-size footprints for the purge and reconfiguration cost models
+  (working sets scale differently from instruction counts);
+* ``real_interactions`` — the paper's interaction count for the
+  full-size run (13.3 K inputs for user apps, millions of requests for
+  the OS apps), used to report full-scale overheads.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class ProcessProfile:
+    """Identity, scalability and cache appetite of one workload process.
+
+    ``l2_appetite_bytes`` is the process's resident data-structure
+    footprint (the secure kernel reads it off the address space at
+    admission) and ``capacity_beta`` how much of its steady-state L2
+    miss traffic is capacity-type and disappears once the footprint is
+    resident (0 = pure single-pass/compulsory, like triangle counting's
+    one-shot traversal; near 1 = fully reused, like resident model
+    weights).  The core re-allocation predictor needs these because its
+    short calibration run cannot observe steady-state residency.
+    """
+
+    name: str
+    domain: str  # 'secure' | 'insecure'
+    scalability: ScalabilityProfile
+    code_image: bytes = b""
+    l2_appetite_bytes: int = 0
+    capacity_beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.domain not in ("secure", "insecure"):
+            raise ValueError(f"bad domain {self.domain!r}")
+        if not 0.0 <= self.capacity_beta <= 1.0:
+            raise ValueError("capacity_beta must be within [0, 1]")
+
+
+class WorkloadProcess(abc.ABC):
+    """One process of an interactive application."""
+
+    profile: ProcessProfile
+
+    @abc.abstractmethod
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        """The memory accesses of interaction ``index``."""
+
+    def calibration_trace(
+        self, rng: np.random.Generator, interactions: int = 2, start: int = 0
+    ) -> Trace:
+        """Trace the predictor calibrates against (a few interactions)."""
+        return Trace.concat(
+            [self.interaction_trace(rng, i) for i in range(start, start + interactions)]
+        )
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def domain(self) -> str:
+        return self.profile.domain
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """An interactive application: a secure/insecure process pair."""
+
+    name: str
+    level: str  # 'user' | 'os'
+    make_secure: Callable[[], WorkloadProcess]
+    make_insecure: Callable[[], WorkloadProcess]
+    n_interactions: int
+    time_scale: float
+    footprint_scale: float
+    real_interactions: int
+    ipc_bytes: int = 1024
+    ipc_reply_bytes: int = 64
+    page_scale: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.level not in ("user", "os"):
+            raise ValueError(f"bad level {self.level!r}")
+        if self.n_interactions < 1:
+            raise ValueError("need at least one interaction")
+
+    def processes(self):
+        """Fresh (secure, insecure) process instances."""
+        return self.make_secure(), self.make_insecure()

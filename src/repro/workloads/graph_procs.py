@@ -1,0 +1,163 @@
+"""Trace-generating processes for the graph applications.
+
+The insecure GRAPH process generates temporal updates (sensor reads →
+edge-weight deltas); the secure SSSP / PageRank / Triangle-Counting
+processes recompute analytics over the updated graph.  Generators lay
+the CSR arrays out exactly as :class:`~repro.workloads.graphs.RoadNetwork`
+does and draw access patterns matching each algorithm's behaviour:
+
+* SSSP — frontier expansion: adjacency-segment scans, random distance
+  updates, a hot priority-queue region.
+* PR — edge-streaming sweeps plus random rank-vector gathers; good
+  spatial locality, large shared-cache appetite.
+* TC — a single pass over a large graph (rotating slabs) with random
+  intersection probes; almost no shared-cache reuse, so extra L2 slices
+  buy nothing (the paper allocates TC just two cores) and heavy
+  synchronization makes extra threads counterproductive.
+* GRAPH — small private working set: sensor buffer sweeps and sparse
+  weight-array writes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+MB = 1024 * KB
+
+
+class _GraphLayout:
+    """Virtual layout of the CSR structures shared by the consumers."""
+
+    def __init__(self, n_nodes: int, n_edges: int):
+        self.layout = syn.RegionLayout()
+        self.n_nodes = n_nodes
+        self.n_edges = n_edges
+        self.offsets = self.layout.add("offsets", (n_nodes + 1) * 8)
+        self.targets = self.layout.add("targets", n_edges * 8)
+        self.weights = self.layout.add("weights", n_edges * 8)
+        self.dist = self.layout.add("dist", n_nodes * 8)
+        self.aux = self.layout.add("aux", n_nodes * 8)
+        self.heap = self.layout.add("heap", 8 * KB)
+
+
+class SsspProcess(WorkloadProcess):
+    """Secure single-source shortest path (Dijkstra recompute)."""
+
+    def __init__(self, n_nodes: int = 180_000, degree: int = 5, accesses: int = 2600):
+        self.g = _GraphLayout(n_nodes, n_nodes * degree)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "SSSP", "secure", ScalabilityProfile(0.12, 0.004), b"sssp-code-v1",
+            l2_appetite_bytes=1800 * KB, capacity_beta=0.55,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        g = self.g
+        lay = g.layout
+        scans = syn.segmented_sequential(
+            rng, g.targets, lay.size("targets"), int(n * 0.40), segment_bytes=320
+        )
+        wscans = syn.segmented_sequential(
+            rng, g.weights, lay.size("weights"), int(n * 0.10), segment_bytes=320
+        )
+        dist = syn.zipf(rng, g.dist, g.n_nodes, 8, int(n * 0.25), alpha=1.35)
+        heap = syn.uniform_random(rng, g.heap, lay.size("heap"), int(n * 0.20))
+        offs = syn.zipf(rng, g.offsets, g.n_nodes, 8, n - int(n * 0.95), alpha=1.25)
+        addrs = syn.interleave(scans, wscans, dist, heap, offs)
+        writes = syn.write_mask(rng, len(addrs), 0.18)
+        return Trace(addrs, writes, instr_per_access=4.0)
+
+
+class PageRankProcess(WorkloadProcess):
+    """Secure PageRank (power iteration over the updated graph)."""
+
+    def __init__(self, n_nodes: int = 220_000, degree: int = 5, accesses: int = 2800):
+        self.g = _GraphLayout(n_nodes, n_nodes * degree)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "PR", "secure", ScalabilityProfile(0.05, 0.002), b"pagerank-code-v1",
+            l2_appetite_bytes=2200 * KB, capacity_beta=0.60,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        g = self.g
+        lay = g.layout
+        stream = syn.segmented_sequential(
+            rng, g.targets, lay.size("targets"), int(n * 0.41), segment_bytes=2048
+        )
+        gathers = syn.zipf(rng, g.dist, g.n_nodes, 8, int(n * 0.34), alpha=1.30)
+        newrank = syn.sequential(
+            g.aux + (index % 8) * (lay.size("aux") // 8),
+            lay.size("aux") // 8,
+            stride=8,
+            n=int(n * 0.20),
+        )
+        offs = syn.segmented_sequential(
+            rng, g.offsets, lay.size("offsets"), n - int(n * 0.95), segment_bytes=1024
+        )
+        addrs = syn.interleave(stream, gathers, newrank, offs)
+        writes = syn.write_mask(rng, len(addrs), 0.22)
+        return Trace(addrs, writes, instr_per_access=3.5)
+
+
+class TriangleCountProcess(WorkloadProcess):
+    """Secure triangle counting: one pass, poor locality, sync heavy."""
+
+    def __init__(self, n_nodes: int = 500_000, degree: int = 6, accesses: int = 1600):
+        self.g = _GraphLayout(n_nodes, n_nodes * degree)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            # Single-pass traversal: no declared appetite, capacity buys nothing.
+            "TC", "secure", ScalabilityProfile(0.30, 0.30), b"tc-code-v1",
+            l2_appetite_bytes=0, capacity_beta=0.0,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        g = self.g
+        lay = g.layout
+        # Single pass: a fresh slab of the edge array every interaction.
+        sweep = syn.rotating_window(
+            g.targets, lay.size("targets"), index, 256 * KB, int(n * 0.45)
+        )
+        probes = syn.zipf(
+            rng, g.targets, lay.size("targets") // 64, 64, int(n * 0.40), alpha=1.04
+        )
+        counters = syn.uniform_random(rng, g.aux, lay.size("aux"), n - int(n * 0.85))
+        addrs = syn.interleave(sweep, probes, counters)
+        writes = syn.write_mask(rng, len(addrs), 0.08)
+        return Trace(addrs, writes, instr_per_access=3.0)
+
+
+class GraphGenProcess(WorkloadProcess):
+    """Insecure GRAPH: sensor reads -> temporal graph updates."""
+
+    def __init__(self, accesses: int = 1600):
+        self.layout = syn.RegionLayout()
+        self.sensors = self.layout.add("sensors", 24 * KB)
+        self.updates = self.layout.add("updates", 16 * KB)
+        self.weight_cache = self.layout.add("weight_cache", 384 * KB)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "GRAPH", "insecure", ScalabilityProfile(0.04, 0.0015), b"graphgen-code-v1",
+            l2_appetite_bytes=424 * KB, capacity_beta=0.50,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        sensors = syn.sequential(self.sensors, self.layout.size("sensors"), 8, int(n * 0.45))
+        deltas = syn.uniform_random(
+            rng, self.weight_cache, self.layout.size("weight_cache"), int(n * 0.25)
+        )
+        out = syn.sequential(self.updates, self.layout.size("updates"), 8, n - int(n * 0.70))
+        addrs = syn.interleave(sensors, deltas, out)
+        writes = syn.write_mask(rng, len(addrs), 0.30)
+        return Trace(addrs, writes, instr_per_access=3.0)

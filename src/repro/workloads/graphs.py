@@ -1,0 +1,168 @@
+"""Road-network graphs and the real graph algorithms (CRONO-style).
+
+The paper's real-time graph processing applications run SSSP, PageRank
+and Triangle Counting over the California road network.  We do not ship
+that dataset; :func:`RoadNetwork.california_like` synthesizes a planar
+road-style graph with the same character — a near-lattice of low-degree
+junctions with local shortcuts — which preserves what the evaluation
+depends on: low average degree, large diameter, and CSR-layout locality.
+
+The algorithms here are the *real* implementations (used by the examples
+and as oracles for the trace generators); the machine models replay the
+statistically matching generators from :mod:`repro.workloads.graph_procs`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RoadNetwork:
+    """A weighted directed graph in CSR form."""
+
+    offsets: np.ndarray  # int64 [n+1]
+    targets: np.ndarray  # int64 [m]
+    weights: np.ndarray  # float64 [m]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.targets)
+
+    def neighbors(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.offsets[v], self.offsets[v + 1]
+        return self.targets[lo:hi], self.weights[lo:hi]
+
+    def degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    @classmethod
+    def california_like(
+        cls, n_nodes: int = 4096, seed: int = 7, shortcut_fraction: float = 0.05
+    ) -> "RoadNetwork":
+        """A grid-of-junctions road network with sparse shortcuts.
+
+        Nodes sit on a near-square lattice; each connects to its lattice
+        neighbours (roads) and a few random nearby nodes (ramps), giving
+        the low-degree, high-diameter structure of real road graphs.
+        """
+        rng = np.random.default_rng(seed)
+        side = int(np.sqrt(n_nodes))
+        n = side * side
+        adjacency: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+
+        def add(u: int, v: int) -> None:
+            w = float(rng.uniform(1.0, 10.0))
+            adjacency[u].append((v, w))
+            adjacency[v].append((u, w))
+
+        for r in range(side):
+            for c in range(side):
+                v = r * side + c
+                if c + 1 < side:
+                    add(v, v + 1)
+                if r + 1 < side:
+                    add(v, v + side)
+        n_shortcuts = int(n * shortcut_fraction)
+        for _ in range(n_shortcuts):
+            u = int(rng.integers(0, n))
+            # nearby shortcut: jump within a local window
+            dr = int(rng.integers(-3, 4))
+            dc = int(rng.integers(-3, 4))
+            r, c = divmod(u, side)
+            r2 = min(side - 1, max(0, r + dr))
+            c2 = min(side - 1, max(0, c + dc))
+            v = r2 * side + c2
+            if u != v:
+                add(u, v)
+
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            offsets[v + 1] = offsets[v] + len(adjacency[v])
+        targets = np.empty(offsets[-1], dtype=np.int64)
+        weights = np.empty(offsets[-1], dtype=np.float64)
+        for v in range(n):
+            lo = offsets[v]
+            for i, (t, w) in enumerate(adjacency[v]):
+                targets[lo + i] = t
+                weights[lo + i] = w
+        return cls(offsets, targets, weights)
+
+    def with_updated_weights(self, edge_ids: np.ndarray, new_weights: np.ndarray) -> None:
+        """Apply a temporal update batch in place (GRAPH's output)."""
+        self.weights[edge_ids] = new_weights
+
+
+def sssp(graph: RoadNetwork, source: int = 0) -> np.ndarray:
+    """Dijkstra single-source shortest paths; returns distances."""
+    n = graph.n_nodes
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    offsets, targets, weights = graph.offsets, graph.targets, graph.weights
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        lo, hi = offsets[v], offsets[v + 1]
+        for i in range(lo, hi):
+            t = targets[i]
+            nd = d + weights[i]
+            if nd < dist[t]:
+                dist[t] = nd
+                heapq.heappush(heap, (nd, int(t)))
+    return dist
+
+
+def pagerank(
+    graph: RoadNetwork, iterations: int = 20, damping: float = 0.85
+) -> np.ndarray:
+    """Power-iteration PageRank; returns the rank vector."""
+    n = graph.n_nodes
+    rank = np.full(n, 1.0 / n)
+    out_degree = np.diff(graph.offsets).astype(np.float64)
+    out_degree[out_degree == 0] = 1.0
+    # Build the reverse gather index once (CSR is symmetric here).
+    for _ in range(iterations):
+        contrib = rank / out_degree
+        new_rank = np.zeros(n)
+        np.add.at(new_rank, graph.targets, np.repeat(contrib, np.diff(graph.offsets)))
+        rank = (1.0 - damping) / n + damping * new_rank
+    return rank
+
+
+def triangle_count(graph: RoadNetwork) -> int:
+    """Exact triangle count via sorted-adjacency intersection."""
+    n = graph.n_nodes
+    neighbor_sets = []
+    for v in range(n):
+        lo, hi = graph.offsets[v], graph.offsets[v + 1]
+        neighbor_sets.append(set(int(t) for t in graph.targets[lo:hi] if int(t) > v))
+    count = 0
+    for v in range(n):
+        sv = neighbor_sets[v]
+        for u in sv:
+            count += len(sv & neighbor_sets[u])
+    return count
+
+
+def generate_temporal_updates(
+    graph: RoadNetwork, rng: np.random.Generator, batch: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """GRAPH's real job: sensor-driven edge-weight deltas.
+
+    Picks a batch of edges (traffic sensors) and nudges their weights,
+    as in the IWCTS traffic-modeling generator the paper uses.
+    """
+    edge_ids = rng.integers(0, graph.n_edges, size=batch, dtype=np.int64)
+    factor = rng.uniform(0.7, 1.5, size=batch)
+    new_weights = np.clip(graph.weights[edge_ids] * factor, 0.5, 20.0)
+    return edge_ids, new_weights

@@ -1,0 +1,178 @@
+"""The nine benchmark interactive applications (§IV-B).
+
+Scaling notes (see DESIGN.md §2/§3 for the full rationale):
+
+* ``time_scale`` maps one simulated interaction to the real one.  User
+  apps interact ~400 times/s, i.e. ~2.5 ms of work per interaction; the
+  simulated interaction is a ~10 us representative slice, so the scale
+  is a few hundred.  OS-level interactions *are* microseconds-scale
+  (one syscall batch), so their scale is 1.
+* ``footprint_scale`` maps the simulated dirty footprint to the real
+  one for the purge/reconfiguration cost models: user apps modify on
+  the order of a megabyte per interaction (the paper's ~0.19 ms purge),
+  OS syscalls only touch kilobytes.
+* ``real_interactions`` are the paper's full-scale counts: 13.3 K
+  inputs on average for user apps (70 s at ~400/s under MI6), 2 M
+  memtier requests, 1 M fetched pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.abc_planner import AbcProcess
+from repro.workloads.aes import AesProcess, QueryGenProcess
+from repro.workloads.base import AppSpec
+from repro.workloads.graph_procs import (
+    GraphGenProcess,
+    PageRankProcess,
+    SsspProcess,
+    TriangleCountProcess,
+)
+from repro.workloads.kv import MemcachedProcess
+from repro.workloads.neural import AlexNetProcess, SqueezeNetProcess
+from repro.workloads.os_proc import OsProcess
+from repro.workloads.vision import VisionProcess
+from repro.workloads.web import HttpdProcess
+
+_USER_INTERACTIONS = 48
+_OS_INTERACTIONS = 320
+_USER_TIME_SCALE = 120.0
+_USER_FOOTPRINT_SCALE = 85.0
+_USER_PAGE_SCALE = 15.0
+_USER_REAL = 13_300
+
+USER_APPS: List[AppSpec] = [
+    AppSpec(
+        name="<SSSP, GRAPH>",
+        level="user",
+        make_secure=SsspProcess,
+        make_insecure=GraphGenProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=2048,
+        description="Temporal road-network updates feeding secure shortest paths",
+    ),
+    AppSpec(
+        name="<PR, GRAPH>",
+        level="user",
+        make_secure=PageRankProcess,
+        make_insecure=GraphGenProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=2048,
+        description="Temporal road-network updates feeding secure PageRank",
+    ),
+    AppSpec(
+        name="<TC, GRAPH>",
+        level="user",
+        make_secure=TriangleCountProcess,
+        make_insecure=GraphGenProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=2048,
+        description="Temporal road-network updates feeding secure triangle counting",
+    ),
+    AppSpec(
+        name="<ABC, VISION>",
+        level="user",
+        make_secure=AbcProcess,
+        make_insecure=VisionProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=4096,
+        description="Vision pipeline frames feeding secure ABC mission planning",
+    ),
+    AppSpec(
+        name="<ALEXNET, VISION>",
+        level="user",
+        make_secure=AlexNetProcess,
+        make_insecure=VisionProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=8192,
+        description="Vision pipeline frames feeding secure AlexNet perception",
+    ),
+    AppSpec(
+        name="<SQZ-NET, VISION>",
+        level="user",
+        make_secure=SqueezeNetProcess,
+        make_insecure=VisionProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=8192,
+        description="Vision pipeline frames feeding secure SqueezeNet perception",
+    ),
+    AppSpec(
+        name="<AES, QUERY>",
+        level="user",
+        make_secure=AesProcess,
+        make_insecure=QueryGenProcess,
+        n_interactions=_USER_INTERACTIONS,
+        time_scale=_USER_TIME_SCALE,
+        footprint_scale=_USER_FOOTPRINT_SCALE,
+        page_scale=_USER_PAGE_SCALE,
+        real_interactions=_USER_REAL,
+        ipc_bytes=1024,
+        description="Database query generation feeding secure AES-256 encryption",
+    ),
+]
+
+OS_APPS: List[AppSpec] = [
+    AppSpec(
+        name="<MEMCACHED, OS>",
+        level="os",
+        make_secure=MemcachedProcess,
+        make_insecure=OsProcess,
+        n_interactions=_OS_INTERACTIONS,
+        time_scale=1.0,
+        footprint_scale=1.0,
+        real_interactions=2_000_000,
+        ipc_bytes=256,
+        ipc_reply_bytes=64,
+        description="memtier-driven key-value store with untrusted-OS syscalls",
+    ),
+    AppSpec(
+        name="<LIGHTTPD, OS>",
+        level="os",
+        make_secure=HttpdProcess,
+        make_insecure=OsProcess,
+        n_interactions=_OS_INTERACTIONS,
+        time_scale=1.0,
+        footprint_scale=1.0,
+        real_interactions=1_000_000,
+        ipc_bytes=256,
+        ipc_reply_bytes=64,
+        description="http_load-driven web server with untrusted-OS syscalls",
+    ),
+]
+
+APPS: List[AppSpec] = USER_APPS + OS_APPS
+
+_BY_NAME: Dict[str, AppSpec] = {app.name: app for app in APPS}
+
+
+def get_app(name: str) -> AppSpec:
+    """Look an application up by its paper name (e.g. ``<AES, QUERY>``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(_BY_NAME)}") from None

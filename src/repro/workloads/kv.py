@@ -1,0 +1,131 @@
+"""MEMCACHED: a real mini key-value store plus the secure-process model.
+
+The OS-level database application computes millions of memtier-driven
+requests, each of which crosses into the untrusted OS for socket and
+file work — the ~220 K entry/exit events per second that make OS-level
+apps the worst case for per-crossing purging.
+
+:class:`MiniMemcached` is a working slab-style LRU store used by the
+examples and tests; :class:`MemcachedProcess` generates the per-request
+access pattern the machines replay: a hash-bucket probe, item header and
+value lines (zipf-popular keys), and hot LRU bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass
+class KvStats:
+    gets: int = 0
+    sets: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+
+class MiniMemcached:
+    """An LRU-evicting in-memory KV store with a byte-capacity bound."""
+
+    def __init__(self, capacity_bytes: int = 4 * MB):
+        self.capacity = capacity_bytes
+        self._used = 0
+        self._items: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self.stats = KvStats()
+
+    @staticmethod
+    def _size(key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + 48  # header overhead
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.stats.sets += 1
+        if key in self._items:
+            self._used -= self._size(key, self._items.pop(key))
+        need = self._size(key, value)
+        while self._used + need > self.capacity and self._items:
+            old_key, old_val = self._items.popitem(last=False)
+            self._used -= self._size(old_key, old_val)
+            self.stats.evictions += 1
+        self._items[key] = value
+        self._used += need
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.stats.gets += 1
+        value = self._items.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._items.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def delete(self, key: bytes) -> bool:
+        value = self._items.pop(key, None)
+        if value is None:
+            return False
+        self._used -= self._size(key, value)
+        return True
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def memtier_request(
+    rng: np.random.Generator, keyspace: int = 10_000, get_fraction: float = 0.9
+) -> Tuple[str, bytes]:
+    """One memtier-style request: zipf-popular key, mostly GETs."""
+    rank = min(int(rng.zipf(1.2)), keyspace) - 1
+    key = b"key-%08d" % rank
+    return ("get" if rng.random() < get_fraction else "set", key)
+
+
+class MemcachedProcess(WorkloadProcess):
+    """Secure MEMCACHED serving one request per interaction."""
+
+    def __init__(self, accesses: int = 70):
+        self.layout = syn.RegionLayout()
+        self.hash_table = self.layout.add("hash_table", 512 * KB)
+        self.items = self.layout.add("items", 3 * MB)
+        self.lru_meta = self.layout.add("lru_meta", 8 * KB)
+        self.conn_state = self.layout.add("conn_state", 8 * KB)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "MEMCACHED", "secure", ScalabilityProfile(0.20, 0.04), b"memcached-code-v1",
+            l2_appetite_bytes=2 * MB, capacity_beta=0.50,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        buckets = syn.uniform_random(rng, self.hash_table, lay.size("hash_table"), int(n * 0.20))
+        n_item = int(n * 0.45)
+        bases = syn.zipf(rng, self.items, lay.size("items") // KB, KB, -(-n_item // 4), alpha=1.2)
+        # Each hit streams the item value: four consecutive lines.
+        item = (np.repeat(bases & ~np.int64(63), 4)
+                + np.tile(np.arange(4, dtype=np.int64) * 64, len(bases)))[:n_item]
+        lru = syn.uniform_random(rng, self.lru_meta, lay.size("lru_meta"), int(n * 0.20))
+        conn = syn.sequential(self.conn_state, lay.size("conn_state"), 8, n - int(n * 0.85))
+        addrs = syn.interleave(buckets, item, lru, conn)
+        writes = syn.write_mask(rng, len(addrs), 0.20)
+        return Trace(addrs, writes, instr_per_access=3.0)

@@ -1,0 +1,162 @@
+"""Secure perception networks: ALEXNET and SqueezeNet.
+
+Real forward-pass building blocks (conv2d, max-pool, ReLU, fire module)
+back the examples and tests; the trace generators model inference as the
+paper's evaluation sees it — per-frame streaming over large weight
+regions (rotating layer slabs), hot activation buffers, and gather-style
+im2col reads.  ALEXNET carries much heavier weights than SqueezeNet
+(whose fire modules squeeze parameters), which is what gives the two
+different shared-cache appetites and cluster allocations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+MB = 1024 * KB
+
+
+# ---------------------------------------------------------------------------
+# Real layers
+# ---------------------------------------------------------------------------
+
+
+def conv2d(x: np.ndarray, w: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Valid convolution: x [C,H,W], w [K,C,R,S] -> [K,H',W']."""
+    c, h, wd = x.shape
+    k, cw, r, s = w.shape
+    if cw != c:
+        raise ValueError("channel mismatch")
+    ho = (h - r) // stride + 1
+    wo = (wd - s) // stride + 1
+    out = np.zeros((k, ho, wo), dtype=np.float32)
+    for i in range(r):
+        for j in range(s):
+            patch = x[:, i : i + stride * ho : stride, j : j + stride * wo : stride]
+            out += np.einsum("chw,kc->khw", patch, w[:, :, i, j])
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def max_pool(x: np.ndarray, size: int = 2) -> np.ndarray:
+    """Non-overlapping max pooling over [C,H,W]."""
+    c, h, w = x.shape
+    h2, w2 = h // size, w // size
+    return x[:, : h2 * size, : w2 * size].reshape(c, h2, size, w2, size).max(axis=(2, 4))
+
+
+def fire_module(
+    x: np.ndarray, squeeze_w: np.ndarray, expand1_w: np.ndarray, expand3_w: np.ndarray
+) -> np.ndarray:
+    """SqueezeNet fire module: squeeze 1x1 then expand 1x1 + 3x3."""
+    squeezed = relu(conv2d(x, squeeze_w))
+    e1 = relu(conv2d(squeezed, expand1_w))
+    padded = np.pad(squeezed, ((0, 0), (1, 1), (1, 1)))
+    e3 = relu(conv2d(padded, expand3_w))
+    return np.concatenate([e1, e3], axis=0)
+
+
+def tiny_alexnet_forward(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A miniature AlexNet-shaped forward pass (tests and examples)."""
+    w1 = rng.standard_normal((8, x.shape[0], 5, 5)).astype(np.float32) * 0.1
+    h1 = max_pool(relu(conv2d(x, w1, stride=2)))
+    w2 = rng.standard_normal((16, 8, 3, 3)).astype(np.float32) * 0.1
+    h2 = max_pool(relu(conv2d(h1, w2)))
+    flat = h2.reshape(-1)
+    wfc = rng.standard_normal((10, flat.shape[0])).astype(np.float32) * 0.01
+    return wfc @ flat
+
+
+# ---------------------------------------------------------------------------
+# Trace models
+# ---------------------------------------------------------------------------
+
+
+class _ConvNetProcess(WorkloadProcess):
+    """Shared shape of the two perception networks."""
+
+    def __init__(
+        self,
+        name: str,
+        code: bytes,
+        weight_bytes: int,
+        act_bytes: int,
+        accesses: int,
+        scalability: ScalabilityProfile,
+        instr_per_access: float,
+    ):
+        self.layout = syn.RegionLayout()
+        self.weights = self.layout.add("weights", weight_bytes)
+        self.acts = self.layout.add("acts", act_bytes)
+        self.im2col = self.layout.add("im2col", 32 * KB)
+        self.accesses = accesses
+        self.ipa = instr_per_access
+        self.profile = ProcessProfile(
+            name, "secure", scalability, code,
+            l2_appetite_bytes=weight_bytes + act_bytes, capacity_beta=0.85,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        # One inference streams a rotating slab of the weights twice
+        # (forward accumulation + the transposed reuse of im2col tiles):
+        # the second pass re-hits the L2, which the baseline's replicas
+        # serve locally while partitioned machines pay the full path.
+        half = int(n * 0.225)
+        w_pass1 = syn.rotating_window(
+            self.weights, lay.size("weights"), index, 128 * KB, half, stride=64
+        )
+        w_pass2 = syn.rotating_window(
+            self.weights, lay.size("weights"), index, 128 * KB, half, stride=64
+        )
+        weights = syn.interleave(w_pass1, w_pass2)
+        # ... re-reads hot activations, and gathers im2col patches.
+        acts = syn.hot_cold(
+            rng, self.acts, 16 * KB, self.acts, lay.size("acts"), int(n * 0.35), 0.7
+        )
+        gathers = syn.uniform_random(rng, self.im2col, lay.size("im2col"), n - int(n * 0.80))
+        addrs = syn.interleave(weights, acts, gathers)
+        writes = syn.write_mask(rng, len(addrs), 0.20)
+        return Trace(addrs, writes, instr_per_access=self.ipa)
+
+
+class AlexNetProcess(_ConvNetProcess):
+    """Secure ALEXNET perception (heavy weights, big L2 appetite)."""
+
+    def __init__(self, accesses: int = 3600):
+        super().__init__(
+            "ALEXNET",
+            b"alexnet-code-v1",
+            weight_bytes=3 * MB,
+            act_bytes=256 * KB,
+            accesses=accesses,
+            scalability=ScalabilityProfile(0.07, 0.0015),
+            instr_per_access=7.0,
+        )
+
+
+class SqueezeNetProcess(_ConvNetProcess):
+    """Secure SqueezeNet (SQZ-NET): fewer parameters, more layers."""
+
+    def __init__(self, accesses: int = 3200):
+        super().__init__(
+            "SQZ-NET",
+            b"squeezenet-code-v1",
+            weight_bytes=1536 * KB,
+            act_bytes=384 * KB,
+            accesses=accesses,
+            scalability=ScalabilityProfile(0.09, 0.002),
+            instr_per_access=6.0,
+        )

@@ -1,0 +1,111 @@
+"""The untrusted OS process serving the OS-level applications.
+
+MEMCACHED and LIGHTTPD "require frequent support from an untrusted OS
+process for generating and processing requests, such as fread, fcntl,
+close, and writev" (§IV-B2).  Each interaction services one such syscall
+batch: file-descriptor table lookups, page-cache chunk reads/writes and
+socket-buffer copies — small footprints, which is exactly why purging
+dominates these applications under MI6.
+
+A functional mini syscall layer backs the examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass
+class OpenFile:
+    path: str
+    offset: int = 0
+    flags: int = 0
+
+
+class MiniOs:
+    """A tiny in-memory OS: file table + page cache + syscalls."""
+
+    def __init__(self):
+        self.files: Dict[str, bytearray] = {}
+        self.fd_table: Dict[int, OpenFile] = {}
+        self._next_fd = 3
+        self.syscalls = 0
+
+    def open(self, path: str) -> int:
+        self.syscalls += 1
+        self.files.setdefault(path, bytearray())
+        fd = self._next_fd
+        self._next_fd += 1
+        self.fd_table[fd] = OpenFile(path)
+        return fd
+
+    def fread(self, fd: int, size: int) -> bytes:
+        self.syscalls += 1
+        handle = self.fd_table[fd]
+        data = bytes(self.files[handle.path][handle.offset : handle.offset + size])
+        handle.offset += len(data)
+        return data
+
+    def writev(self, fd: int, chunks: List[bytes]) -> int:
+        self.syscalls += 1
+        handle = self.fd_table[fd]
+        total = 0
+        buf = self.files[handle.path]
+        for chunk in chunks:
+            end = handle.offset + len(chunk)
+            if end > len(buf):
+                buf.extend(b"\x00" * (end - len(buf)))
+            buf[handle.offset : end] = chunk
+            handle.offset = end
+            total += len(chunk)
+        return total
+
+    def fcntl(self, fd: int, flags: int) -> int:
+        self.syscalls += 1
+        handle = self.fd_table[fd]
+        previous = handle.flags
+        handle.flags = flags
+        return previous
+
+    def close(self, fd: int) -> None:
+        self.syscalls += 1
+        del self.fd_table[fd]
+
+
+class OsProcess(WorkloadProcess):
+    """Insecure OS servicing one syscall batch per interaction."""
+
+    def __init__(self, accesses: int = 62):
+        self.layout = syn.RegionLayout()
+        self.fd_table = self.layout.add("fd_table", 8 * KB)
+        self.page_cache = self.layout.add("page_cache", 2 * MB)
+        self.sock_buf = self.layout.add("sock_buf", 16 * KB)
+        self.kstate = self.layout.add("kstate", 8 * KB)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "OS", "insecure", ScalabilityProfile(0.22, 0.03), b"os-proc-v1",
+            l2_appetite_bytes=420 * KB, capacity_beta=0.30,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        fds = syn.uniform_random(rng, self.fd_table, lay.size("fd_table"), int(n * 0.20))
+        chunk_base = int(rng.integers(0, lay.size("page_cache") // (4 * KB))) * 4 * KB
+        cache = syn.sequential(self.page_cache + chunk_base, 4 * KB, 64, int(n * 0.40))
+        sock = syn.sequential(self.sock_buf, lay.size("sock_buf"), 64, int(n * 0.25))
+        kstate = syn.uniform_random(rng, self.kstate, lay.size("kstate"), n - int(n * 0.85))
+        addrs = syn.interleave(fds, cache, sock, kstate)
+        writes = syn.write_mask(rng, len(addrs), 0.35)
+        return Trace(addrs, writes, instr_per_access=3.0)

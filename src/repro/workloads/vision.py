@@ -1,0 +1,101 @@
+"""The insecure VISION pipeline: RAW image processing kernels.
+
+Real kernels (demosaic, Gaussian denoise, tone map — the stages of the
+reconfigurable imaging pipeline the paper builds on) implemented over
+numpy for the examples and tests, plus the trace-generating process the
+machines replay: streaming stencil sweeps over the frame buffers with a
+modest, mostly-sequential working set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+from repro.workloads import synthetic as syn
+from repro.workloads.base import ProcessProfile, WorkloadProcess
+
+KB = 1024
+
+
+# ---------------------------------------------------------------------------
+# Real kernels
+# ---------------------------------------------------------------------------
+
+
+def demosaic(raw: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour Bayer demosaic (RGGB) to a 3-channel image."""
+    if raw.ndim != 2 or raw.shape[0] % 2 or raw.shape[1] % 2:
+        raise ValueError("RAW frame must be 2-D with even dimensions")
+    h, w = raw.shape
+    rgb = np.empty((h, w, 3), dtype=np.float32)
+    r = raw[0::2, 0::2]
+    g1 = raw[0::2, 1::2]
+    g2 = raw[1::2, 0::2]
+    b = raw[1::2, 1::2]
+    rgb[..., 0] = np.repeat(np.repeat(r, 2, axis=0), 2, axis=1)[:h, :w]
+    g = (g1.astype(np.float32) + g2.astype(np.float32)) / 2.0
+    rgb[..., 1] = np.repeat(np.repeat(g, 2, axis=0), 2, axis=1)[:h, :w]
+    rgb[..., 2] = np.repeat(np.repeat(b, 2, axis=0), 2, axis=1)[:h, :w]
+    return rgb
+
+
+def gaussian_blur(img: np.ndarray, passes: int = 1) -> np.ndarray:
+    """Separable 3-tap blur (1-2-1 kernel), repeated ``passes`` times."""
+    out = img.astype(np.float32)
+    for _ in range(passes):
+        padded = np.pad(out, [(1, 1), (1, 1)] + [(0, 0)] * (out.ndim - 2), mode="edge")
+        out = (
+            2.0 * padded[1:-1, 1:-1]
+            + padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+        ) / 6.0
+    return out
+
+
+def tone_map(img: np.ndarray, gamma: float = 2.2) -> np.ndarray:
+    """Global gamma tone mapping into [0, 1]."""
+    peak = float(img.max()) or 1.0
+    return np.power(np.clip(img / peak, 0.0, 1.0), 1.0 / gamma)
+
+
+def vision_pipeline(raw: np.ndarray) -> np.ndarray:
+    """The full RAW -> display pipeline."""
+    return tone_map(gaussian_blur(demosaic(raw)))
+
+
+# ---------------------------------------------------------------------------
+# Trace model
+# ---------------------------------------------------------------------------
+
+
+class VisionProcess(WorkloadProcess):
+    """Insecure vision pipeline feeding frames to the secure consumers."""
+
+    def __init__(self, accesses: int = 1800, frame_bytes: int = 512 * KB):
+        self.layout = syn.RegionLayout()
+        self.raw = self.layout.add("raw", frame_bytes)
+        self.work = self.layout.add("work", frame_bytes)
+        self.out = self.layout.add("out", frame_bytes)
+        self.kernel_state = self.layout.add("kernel_state", 12 * KB)
+        self.accesses = accesses
+        self.profile = ProcessProfile(
+            "VISION", "insecure", ScalabilityProfile(0.10, 0.006), b"vision-code-v1",
+            l2_appetite_bytes=896 * KB, capacity_beta=0.20,
+        )
+
+    def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
+        n = self.accesses
+        lay = self.layout
+        # Each interaction processes one (rotating) stripe of the frame.
+        stripe = 64 * KB
+        sweep_in = syn.rotating_window(self.raw, lay.size("raw"), index, stripe, int(n * 0.40), stride=32)
+        sweep_work = syn.rotating_window(self.work, lay.size("work"), index, stripe, int(n * 0.30), stride=32)
+        state = syn.uniform_random(rng, self.kernel_state, lay.size("kernel_state"), int(n * 0.18))
+        sweep_out = syn.rotating_window(self.out, lay.size("out"), index, stripe, n - int(n * 0.88), stride=32)
+        addrs = syn.interleave(sweep_in, sweep_work, state, sweep_out)
+        writes = syn.write_mask(rng, len(addrs), 0.30)
+        return Trace(addrs, writes, instr_per_access=5.0)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+
+
+@pytest.fixture(scope="session")
+def eval_config() -> SystemConfig:
+    """The capacity-scaled evaluation machine."""
+    return SystemConfig.evaluation()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SystemConfig:
+    """A 4x4 machine for fast unit tests."""
+    return SystemConfig.small()
+
+
+@pytest.fixture(scope="session")
+def calibration_cache() -> dict:
+    """Shared predictor-calibration cache across IRONHIDE test runs."""
+    return {}
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,96 @@
+"""Tests for the physical address space and page tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address import AddressSpace, VirtualMemory
+from repro.config import SystemConfig
+from repro.errors import AllocationError
+
+
+@pytest.fixture()
+def space(small_config) -> AddressSpace:
+    return AddressSpace(small_config)
+
+
+class TestAddressSpace:
+    def test_round_robin_interleaves_regions(self, space):
+        frames = space.alloc(4, [0, 1])
+        regions = [space.region_of_frame(f) for f in frames]
+        assert regions == [0, 1, 0, 1]
+
+    def test_frames_are_unique(self, space):
+        frames = space.alloc(100, [0, 1, 2, 3])
+        assert len(set(frames)) == 100
+
+    def test_region_of_frame_inverse(self, space):
+        frames = space.alloc(10, [2])
+        assert all(space.region_of_frame(f) == 2 for f in frames)
+
+    def test_no_regions_raises(self, space):
+        with pytest.raises(AllocationError):
+            space.alloc(1, [])
+
+    def test_bad_region_raises(self, space):
+        with pytest.raises(AllocationError):
+            space.alloc(1, [99])
+
+    def test_exhaustion_raises(self, small_config):
+        space = AddressSpace(small_config)
+        capacity = space.frames_per_region
+        space.alloc(capacity, [0])
+        with pytest.raises(AllocationError):
+            space.alloc(1, [0])
+
+    def test_spills_to_sibling_region_when_full(self, small_config):
+        space = AddressSpace(small_config)
+        capacity = space.frames_per_region
+        space.alloc(capacity, [0])
+        frames = space.alloc(2, [0, 1])
+        assert all(space.region_of_frame(f) == 1 for f in frames)
+
+
+class TestVirtualMemory:
+    def test_translate_allocates_on_first_touch(self, space):
+        vm = VirtualMemory("p", space, [0])
+        frame = vm.translate(7)
+        assert vm.translate(7) == frame
+        assert len(vm) == 1
+
+    def test_ensure_mapped_is_stable(self, space):
+        vm = VirtualMemory("p", space, [0, 1])
+        pages = np.asarray([3, 5, 9], dtype=np.int64)
+        first = vm.ensure_mapped(pages)
+        second = vm.ensure_mapped(pages)
+        assert np.array_equal(first, second)
+
+    def test_allocations_respect_entitled_regions(self, space):
+        vm = VirtualMemory("p", space, [1, 3])
+        frames = vm.ensure_mapped(np.arange(20, dtype=np.int64))
+        regions = {space.region_of_frame(int(f)) for f in frames}
+        assert regions <= {1, 3}
+
+    def test_set_regions_affects_future_allocations_only(self, space):
+        vm = VirtualMemory("p", space, [0])
+        old_frame = vm.translate(0)
+        vm.set_regions([2])
+        new_frame = vm.translate(1)
+        assert space.region_of_frame(old_frame) == 0
+        assert space.region_of_frame(new_frame) == 2
+
+    def test_mapped_frames_lists_all(self, space):
+        vm = VirtualMemory("p", space, [0])
+        vm.ensure_mapped(np.asarray([1, 2, 3], dtype=np.int64))
+        assert len(vm.mapped_frames) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_pages_get_distinct_frames(self, pages):
+        space = AddressSpace(SystemConfig.small())
+        vm = VirtualMemory("p", space, [0, 1])
+        frames = vm.ensure_mapped(np.asarray(sorted(set(pages)), dtype=np.int64))
+        assert len(set(int(f) for f in frames)) == len(set(pages))

@@ -1,0 +1,179 @@
+"""Security validation: the paper's isolation claims, demonstrated.
+
+Every channel that works under the SGX-like model must be severed by
+MI6 and IRONHIDE strong isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackEnvironment,
+    CacheCovertChannel,
+    NocTimingProbe,
+    PrimeProbeAttack,
+    SpectreAttack,
+)
+from repro.attacks.analysis import (
+    bit_error_rate,
+    channel_capacity_estimate,
+    mutual_information_bits,
+    recovery_rate,
+)
+from repro.errors import CacheIsolationViolation, ConfigError
+
+STRONG = ("mi6", "ironhide")
+
+
+class TestEnvironment:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            AttackEnvironment.build("tpm")
+
+    def test_sgx_shares_slices(self):
+        env = AttackEnvironment.build("sgx")
+        assert env.shared_slices()
+
+    @pytest.mark.parametrize("model", STRONG)
+    def test_strong_isolation_shares_nothing(self, model):
+        env = AttackEnvironment.build(model)
+        assert not env.shared_slices()
+
+
+class TestPrimeProbe:
+    def test_sgx_recovers_secret(self):
+        env = AttackEnvironment.build("sgx")
+        result = PrimeProbeAttack(env).run(secret=13)
+        assert result.eviction_set_built
+        assert result.success
+
+    def test_sgx_recovers_several_secrets(self):
+        for secret in (0, 7, 31, 63):
+            env = AttackEnvironment.build("sgx")
+            assert PrimeProbeAttack(env).run(secret=secret).success
+
+    @pytest.mark.parametrize("model", STRONG)
+    def test_strong_isolation_blocks_eviction_sets(self, model):
+        env = AttackEnvironment.build(model)
+        result = PrimeProbeAttack(env).run(secret=13)
+        assert not result.eviction_set_built
+
+    @pytest.mark.parametrize("model", STRONG)
+    def test_recovery_rate_near_chance(self, model):
+        secrets = [3, 17, 42, 55]
+        recovered = []
+        for s in secrets:
+            env = AttackEnvironment.build(model)
+            recovered.append(PrimeProbeAttack(env).run(s).recovered)
+        assert recovery_rate(secrets, recovered) <= 0.25
+
+    def test_direct_probe_of_victim_slice_raises(self):
+        env = AttackEnvironment.build("ironhide")
+        attack = PrimeProbeAttack(env)
+        attack._touch(env.victim, attack._VICTIM_PAGE)
+        victim_frame = env.victim.vm.page_table[attack._VICTIM_PAGE]
+        # Force a mapping homed into the victim's cluster and touch it.
+        vpage = attack._ATTACKER_PAGE_BASE
+        attack._touch(env.attacker, vpage)
+        frame = env.attacker.vm.page_table[vpage]
+        env.hier.home_table[frame] = int(env.hier.home_table[victim_frame])
+        with pytest.raises(CacheIsolationViolation):
+            attack._touch(env.attacker, vpage)
+
+
+class TestCovertChannel:
+    BITS = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1] * 2
+
+    def test_sgx_channel_is_clean(self):
+        env = AttackEnvironment.build("sgx")
+        result = CacheCovertChannel(env).transmit(self.BITS)
+        assert result.bit_error_rate == 0.0
+        assert result.channel_works
+
+    @pytest.mark.parametrize("model", STRONG)
+    def test_strong_isolation_severs_channel(self, model):
+        env = AttackEnvironment.build(model)
+        result = CacheCovertChannel(env).transmit(self.BITS)
+        assert not result.channel_works
+        assert result.bit_error_rate > 0.2
+
+    def test_mutual_information_collapses(self):
+        env = AttackEnvironment.build("sgx")
+        good = CacheCovertChannel(env).transmit(self.BITS)
+        env = AttackEnvironment.build("ironhide")
+        bad = CacheCovertChannel(env).transmit(self.BITS)
+        mi_good = mutual_information_bits(zip(good.sent, good.received))
+        mi_bad = mutual_information_bits(zip(bad.sent, bad.received))
+        assert mi_good > 0.9
+        assert mi_bad < 0.3
+
+
+class TestSpectre:
+    def test_sgx_leaks_speculatively(self):
+        env = AttackEnvironment.build("sgx")
+        result = SpectreAttack(env).run(secret=29)
+        assert result.leaked
+        assert not result.blocked_by_guard
+
+    @pytest.mark.parametrize("model", STRONG)
+    def test_guard_discards_without_state_change(self, model):
+        env = AttackEnvironment.build(model)
+        result = SpectreAttack(env).run(secret=29)
+        assert result.blocked_by_guard
+        assert result.recovered is None
+
+    @pytest.mark.parametrize("model", STRONG)
+    def test_guard_counts_discards(self, model):
+        env = AttackEnvironment.build(model)
+        SpectreAttack(env).run(secret=5)
+        assert env.guard.stats.discarded == 1
+
+    def test_secret_out_of_range_rejected(self):
+        env = AttackEnvironment.build("sgx")
+        with pytest.raises(ValueError):
+            SpectreAttack(env).run(secret=4096)
+
+
+class TestNocProbe:
+    def test_unpartitioned_noc_is_observable(self):
+        env = AttackEnvironment.build("sgx")
+        result = NocTimingProbe(env).run()
+        assert result.observable
+
+    def test_ironhide_contains_victim_traffic(self):
+        env = AttackEnvironment.build("ironhide")
+        result = NocTimingProbe(env).run()
+        assert not result.observable
+        assert result.blocked_packets == 0  # contained, not dropped
+
+    def test_victim_packets_all_delivered(self):
+        env = AttackEnvironment.build("ironhide")
+        result = NocTimingProbe(env).run(n_packets=32)
+        assert result.victim_packets == 32
+
+
+class TestAnalysisHelpers:
+    def test_recovery_rate(self):
+        assert recovery_rate([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+        assert recovery_rate([], []) == 0.0
+
+    def test_recovery_rate_misaligned(self):
+        with pytest.raises(ValueError):
+            recovery_rate([1], [1, 2])
+
+    def test_bit_error_rate(self):
+        assert bit_error_rate([1, 1, 0, 0], [1, 0, 0, 1]) == 0.5
+
+    def test_mutual_information_identity(self):
+        pairs = [(b, b) for b in (0, 1) * 20]
+        assert mutual_information_bits(pairs) == pytest.approx(1.0)
+
+    def test_mutual_information_independent(self):
+        pairs = [(0, 0), (0, 1), (1, 0), (1, 1)] * 10
+        assert mutual_information_bits(pairs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_channel_capacity(self):
+        assert channel_capacity_estimate(0.0) == pytest.approx(1.0)
+        assert channel_capacity_estimate(0.5) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,192 @@
+"""Unit and property tests for the set-associative cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.arch.cache import SetAssocCache
+from repro.errors import ConfigError
+
+
+def make_cache(size=1024, assoc=2, line=64) -> SetAssocCache:
+    return SetAssocCache(CacheConfig(size, assoc, line), "t")
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert cache.access(0, False) is False
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0, False)
+        assert cache.access(0, False) is True
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = make_cache(size=1024, assoc=2)  # 8 sets
+        cache.access(0, False)
+        cache.access(1, False)
+        assert cache.access(0, False)
+        assert cache.access(1, False)
+
+    def test_eviction_on_associativity_overflow(self):
+        cache = make_cache(size=1024, assoc=2)  # 8 sets
+        n_sets = cache.n_sets
+        cache.access(0, False)
+        cache.access(n_sets, False)
+        cache.access(2 * n_sets, False)  # evicts line 0 (LRU)
+        assert not cache.contains(0)
+        assert cache.contains(n_sets)
+        assert cache.contains(2 * n_sets)
+
+    def test_lru_updated_by_hit(self):
+        cache = make_cache(size=1024, assoc=2)
+        n_sets = cache.n_sets
+        cache.access(0, False)
+        cache.access(n_sets, False)
+        cache.access(0, False)  # 0 becomes MRU
+        cache.access(2 * n_sets, False)  # evicts n_sets, not 0
+        assert cache.contains(0)
+        assert not cache.contains(n_sets)
+
+    def test_writeback_counted_only_for_dirty_victims(self):
+        cache = make_cache(size=1024, assoc=1)
+        n_sets = cache.n_sets
+        cache.access(0, True)  # dirty
+        cache.access(n_sets, False)  # evicts dirty line
+        assert cache.stats.writebacks == 1
+        cache.access(2 * n_sets, False)  # evicts clean line
+        assert cache.stats.writebacks == 1
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_touch_many_counts_misses(self):
+        cache = make_cache()
+        misses = cache.touch_many([0, 0, 64, 0], [0, 0, 0, 0])
+        # line ids are already line-granular here: 0, 0, 64, 0
+        assert misses == 2
+
+
+class TestMaintenance:
+    def test_invalidate_all_reports_valid_and_dirty(self):
+        cache = make_cache()
+        cache.access(0, True)
+        cache.access(1, False)
+        valid, dirty = cache.invalidate_all()
+        assert (valid, dirty) == (2, 1)
+        assert cache.valid_lines == 0
+
+    def test_invalidate_counts_writebacks(self):
+        cache = make_cache()
+        cache.access(3, True)
+        before = cache.stats.writebacks
+        cache.invalidate_all()
+        assert cache.stats.writebacks == before + 1
+
+    def test_clean_all_keeps_lines_resident(self):
+        cache = make_cache()
+        cache.access(5, True)
+        drained = cache.clean_all()
+        assert drained == 1
+        assert cache.contains(5)
+        assert cache.dirty_lines == 0
+
+    def test_clean_all_idempotent(self):
+        cache = make_cache()
+        cache.access(5, True)
+        cache.clean_all()
+        assert cache.clean_all() == 0
+
+    def test_evict_line_specific(self):
+        cache = make_cache()
+        cache.access(7, True)
+        assert cache.evict_line(7) is True
+        assert not cache.contains(7)
+        assert cache.evict_line(7) is False
+
+    def test_resident_lines_lists_contents(self):
+        cache = make_cache()
+        for line in (1, 2, 3):
+            cache.access(line, False)
+        assert sorted(cache.resident_lines()) == [1, 2, 3]
+
+    def test_dirty_lines_counter(self):
+        cache = make_cache()
+        cache.access(0, True)
+        cache.access(1, False)
+        cache.access(2, True)
+        assert cache.dirty_lines == 2
+
+
+class TestConfigValidation:
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(3 * 64 * 2, 2, 64)  # 3 sets
+
+    def test_geometry_properties(self):
+        cfg = CacheConfig(32 * 1024, 8, 64)
+        assert cfg.n_sets == 64
+        assert cfg.n_lines == 512
+
+
+class TestProperties:
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = make_cache(size=512, assoc=2)  # 4 sets, 8 lines total
+        for line in lines:
+            cache.access(line, False)
+        assert cache.valid_lines <= 8
+        for s in cache._sets:
+            assert len(s) <= 2
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+        writes=st.lists(st.booleans(), min_size=200, max_size=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_lru_model(self, lines, writes):
+        """The cache must agree with a straightforward LRU reference."""
+        cache = make_cache(size=512, assoc=2)
+        n_sets = cache.n_sets
+        reference = {s: [] for s in range(n_sets)}
+        for line, w in zip(lines, writes):
+            ref_set = reference[line & (n_sets - 1)]
+            expect_hit = line in ref_set
+            if expect_hit:
+                ref_set.remove(line)
+            elif len(ref_set) >= 2:
+                ref_set.pop()
+            ref_set.insert(0, line)
+            assert cache.access(line, w) == expect_hit
+
+    @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = make_cache()
+        for line in lines:
+            cache.access(line, False)
+        assert cache.stats.hits + cache.stats.misses == len(lines)
+
+    @given(st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_pass_all_hits_when_fits(self, lines):
+        """Any footprint within capacity/assoc bounds fully hits on replay."""
+        unique = sorted(set(lines))
+        cache = make_cache(size=64 * 128 * 4, assoc=128)  # fully assoc, 4 sets
+        for line in unique:
+            cache.access(line, False)
+        assert all(cache.access(line, False) for line in unique)

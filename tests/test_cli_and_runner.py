@@ -1,0 +1,62 @@
+"""Tests for the CLI entry point and experiment runner plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
+from repro.workloads import get_app
+
+
+class TestRunner:
+    def test_run_matrix_keys(self):
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        apps = [get_app("<AES, QUERY>")]
+        results = run_matrix(apps, ("insecure", "sgx"), settings)
+        assert set(results) == {("<AES, QUERY>", "insecure"), ("<AES, QUERY>", "sgx")}
+
+    def test_interactions_for_levels(self):
+        settings = ExperimentSettings(n_user=5, n_os=9)
+        assert settings.interactions_for(get_app("<AES, QUERY>")) == 5
+        assert settings.interactions_for(get_app("<MEMCACHED, OS>")) == 9
+
+    def test_default_settings_keep_app_defaults(self):
+        settings = ExperimentSettings()
+        assert settings.interactions_for(get_app("<AES, QUERY>")) is None
+
+    def test_quickened_divides_counts(self):
+        quick = ExperimentSettings().quickened(4)
+        assert quick.n_user == 12
+        assert quick.n_os == 80
+
+    def test_run_one_threads_calibration_cache(self):
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        run_one(get_app("<AES, QUERY>"), "ironhide", settings)
+        assert len(settings.calibration_cache) == 1
+
+    def test_seed_changes_results(self):
+        settings_a = ExperimentSettings(n_user=3, seed=1)
+        settings_b = ExperimentSettings(n_user=3, seed=2)
+        a = run_one(get_app("<AES, QUERY>"), "insecure", settings_a)
+        b = run_one(get_app("<AES, QUERY>"), "insecure", settings_b)
+        assert a.completion_cycles != b.completion_cycles
+
+
+class TestCli:
+    def test_registry_covers_all_figures(self):
+        assert {"fig1", "fig6", "fig7", "fig8", "tables", "ablations"} <= set(EXPERIMENTS)
+
+    def test_fig1_quick_run(self, capsys):
+        assert main(["fig1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+        assert "[fig1:" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_requires_an_argument(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,64 @@
+"""Tests for configuration validation and unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.config import CacheConfig, MemConfig, NocConfig, SystemConfig
+from repro.errors import ConfigError
+
+
+class TestUnits:
+    def test_cycle_time_is_one_ns(self):
+        assert units.CLOCK_HZ == 1_000_000_000
+        assert units.cycles_from_us(1) == 1000
+
+    def test_roundtrips(self):
+        assert units.us_from_cycles(units.cycles_from_us(5.0)) == pytest.approx(5.0)
+        assert units.ms_from_cycles(units.cycles_from_ms(0.19)) == pytest.approx(0.19)
+        assert units.s_from_cycles(units.cycles_from_s(2)) == pytest.approx(2.0)
+
+    def test_paper_constants(self):
+        assert units.cycles_from_us(5.0) == 5_000  # SGX crossing
+        assert units.cycles_from_ms(0.19) == 190_000  # MI6 purge/interaction
+        assert units.cycles_from_ms(15) == 15_000_000  # IRONHIDE reconfig
+
+
+class TestSystemConfig:
+    def test_tile_gx72_shape(self):
+        cfg = SystemConfig.tile_gx72()
+        assert cfg.n_cores == 64
+        assert cfg.l1.size_bytes == 32 * 1024
+        assert cfg.l2_slice.size_bytes == 256 * 1024
+        assert cfg.mem.n_controllers == 4
+
+    def test_evaluation_keeps_protocol_costs(self):
+        cfg = SystemConfig.evaluation()
+        assert cfg.costs.sgx_crossing_cycles == 5000
+        assert cfg.costs.dummy_buffer_lines == 512  # full-size L1 flush
+        assert cfg.l1.size_bytes < 32 * 1024  # capacity-scaled
+
+    def test_small_config_is_valid(self):
+        cfg = SystemConfig.small()
+        assert cfg.n_cores == 16
+        assert cfg.mem.n_controllers == 2
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(mesh_rows=1, mesh_cols=8)
+
+    def test_rejects_region_controller_mismatch(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(mem=MemConfig(n_controllers=3, n_regions=8))
+
+    def test_rejects_page_not_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(page_bytes=100)
+
+    def test_noc_traversal_latency(self):
+        noc = NocConfig(hop_latency=1, router_latency=1)
+        assert noc.traversal_latency(5) == 10
+
+    def test_regions_per_controller(self):
+        assert SystemConfig.evaluation().regions_per_controller == 2

@@ -1,0 +1,146 @@
+"""Cross-cutting edge cases and error-path coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AttestationError,
+    CacheIsolationViolation,
+    IsolationViolation,
+    MemoryIsolationViolation,
+    NetworkIsolationViolation,
+    ReproError,
+    SpeculativeAccessBlocked,
+)
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext, TraceResult
+from repro.attacks import AttackEnvironment, PrimeProbeAttack
+from repro.config import SystemConfig
+from repro.machines.ironhide import IronhideMachine
+from repro.secure.ipc import SharedIpcBuffer
+from repro.workloads import get_app
+
+
+class TestErrorHierarchy:
+    def test_isolation_violations_are_repro_errors(self):
+        for exc in (
+            CacheIsolationViolation,
+            MemoryIsolationViolation,
+            NetworkIsolationViolation,
+            SpeculativeAccessBlocked,
+        ):
+            assert issubclass(exc, IsolationViolation)
+            assert issubclass(exc, ReproError)
+
+    def test_attestation_error_is_repro_error(self):
+        assert issubclass(AttestationError, ReproError)
+
+
+class TestTraceResultMerge:
+    def test_merge_adds_counters(self):
+        a = TraceResult(accesses=10, l1_hits=8, l1_misses=2, mem_cycles=100,
+                        mc_requests={0: 3})
+        b = TraceResult(accesses=5, l1_hits=5, mem_cycles=50, mc_requests={0: 1, 2: 2})
+        a.merge(b)
+        assert a.accesses == 15
+        assert a.mem_cycles == 150
+        assert a.mc_requests == {0: 4, 2: 2}
+
+    def test_rates_with_zero_denominators(self):
+        empty = TraceResult()
+        assert empty.l1_miss_rate == 0.0
+        assert empty.l2_miss_rate == 0.0
+
+
+class TestHierarchyEdges:
+    def test_single_access_trace(self, eval_config):
+        hier = MemoryHierarchy(eval_config)
+        vm = VirtualMemory("p", hier.address_space, [0])
+        ctx = ProcessContext("p", "secure", vm, cores=[0], slices=[0], controllers=[0])
+        res = hier.run_trace(ctx, np.asarray([4096], dtype=np.int64))
+        assert res.accesses == 1
+        assert res.l1_misses == 1
+        assert res.tlb_misses == 1
+
+    def test_reads_by_default(self, eval_config):
+        hier = MemoryHierarchy(eval_config)
+        vm = VirtualMemory("p", hier.address_space, [0])
+        ctx = ProcessContext("p", "secure", vm, cores=[0], slices=[0], controllers=[0])
+        hier.run_trace(ctx, np.arange(0, 640, 64, dtype=np.int64))
+        assert hier.l1_for(0).dirty_lines == 0
+
+    def test_unknown_homing_policy_rejected(self, eval_config):
+        from repro.errors import ConfigError
+
+        hier = MemoryHierarchy(eval_config)
+        vm = VirtualMemory("p", hier.address_space, [0])
+        ctx = ProcessContext(
+            "p", "secure", vm, cores=[0], slices=[0], controllers=[0], homing="magic"
+        )
+        with pytest.raises(ConfigError):
+            hier.run_trace(ctx, np.asarray([0], dtype=np.int64))
+
+    def test_avg_distance_cache_reused(self, eval_config):
+        hier = MemoryHierarchy(eval_config)
+        cores = tuple(range(8))
+        first = hier._avg_core_distances(cores)
+        assert hier._avg_core_distances(cores) is first
+
+    @given(n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=15, deadline=None)
+    def test_compressed_hits_counted(self, n):
+        """Repeating one address n times yields exactly one miss."""
+        config = SystemConfig.evaluation()
+        hier = MemoryHierarchy(config)
+        vm = VirtualMemory("p", hier.address_space, [0])
+        ctx = ProcessContext("p", "secure", vm, cores=[0], slices=[0], controllers=[0])
+        trace = np.zeros(n, dtype=np.int64)
+        res = hier.run_trace(ctx, trace)
+        assert res.l1_misses == 1
+        assert res.l1_hits == n - 1
+
+
+class TestMachineEdges:
+    def test_single_interaction_run(self, eval_config):
+        machine = IronhideMachine(eval_config)
+        result = machine.run(get_app("<AES, QUERY>"), n_interactions=1)
+        assert result.interactions == 1
+        assert result.completion_cycles > 0
+
+    def test_predictor_evaluations_recorded(self, eval_config):
+        machine = IronhideMachine(eval_config)
+        result = machine.run(get_app("<AES, QUERY>"), n_interactions=2)
+        assert result.predictor_evals > 0
+
+    def test_attestation_enrolls_in_kernel(self, eval_config):
+        machine = IronhideMachine(eval_config)
+        machine.run(get_app("<AES, QUERY>"), n_interactions=1)
+        assert machine.kernel.is_enrolled("AES")
+        assert machine.kernel.admissions == 1
+
+    def test_ironhide_network_plans_disjoint(self, eval_config):
+        env = AttackEnvironment.build("ironhide", eval_config, n_secure=16)
+        assert env.victim_network.isdisjoint(env.attacker_network)
+
+
+class TestAttackEdges:
+    def test_prime_probe_rejects_out_of_range_secret(self):
+        env = AttackEnvironment.build("sgx")
+        with pytest.raises(ValueError):
+            PrimeProbeAttack(env).run(secret=1000)
+
+    def test_trial_success_rate_sgx(self):
+        env = AttackEnvironment.build("sgx")
+        rate = PrimeProbeAttack(env).trial_success_rate([5, 40])
+        assert rate == 1.0
+
+    def test_environment_purge_crossing_wipes_state(self):
+        env = AttackEnvironment.build("mi6")
+        attack = PrimeProbeAttack(env)
+        attack._touch(env.victim, attack._VICTIM_PAGE)
+        env.purge_crossing()
+        assert env.hier.l1_for(env.victim.rep_core).valid_lines == 0

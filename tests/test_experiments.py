@@ -1,0 +1,192 @@
+"""Integration tests: the experiment drivers reproduce the paper's shape.
+
+These use reduced interaction counts to stay fast; EXPERIMENTS.md records
+full-length runs.  The assertions check *bands and orderings* — who
+wins, in what direction — not exact values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    run_fig1a,
+    run_fig6,
+    run_fig7,
+    run_interactivity_table,
+)
+from repro.experiments.ablations import (
+    ablate_binding,
+    ablate_homing,
+    ablate_purge_anatomy,
+    ablate_replication,
+    ablate_routing,
+)
+from repro.experiments.fig8 import run_fig8
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(n_user=8, n_os=48)
+
+
+@pytest.fixture(scope="module")
+def fig1(settings):
+    return run_fig1a(settings, verbose=False)
+
+
+@pytest.fixture(scope="module")
+def fig6(settings):
+    return run_fig6(settings, verbose=False)
+
+
+@pytest.fixture(scope="module")
+def fig7(settings):
+    return run_fig7(settings, verbose=False)
+
+
+class TestFig1a:
+    def test_normalization_base(self, fig1):
+        assert fig1["insecure"] == pytest.approx(1.0)
+
+    def test_sgx_band(self, fig1):
+        """Paper: ~1.33x.  Accept the surrounding band."""
+        assert 1.1 < fig1["sgx"] < 1.6
+
+    def test_mi6_band(self, fig1):
+        """Paper: ~2.25x."""
+        assert 1.6 < fig1["mi6"] < 2.8
+
+    def test_ironhide_band(self, fig1):
+        """Paper: ~1.11x."""
+        assert 0.9 < fig1["ironhide"] < 1.3
+
+    def test_ordering(self, fig1):
+        assert fig1["insecure"] < fig1["sgx"] < fig1["mi6"]
+        assert fig1["ironhide"] < fig1["sgx"]
+
+
+class TestFig6:
+    def test_headline_mi6_over_ironhide(self, fig6):
+        """Paper: ~2.1x."""
+        assert 1.6 < fig6.mi6_over_ironhide < 2.7
+
+    def test_ironhide_gain_over_sgx(self, fig6):
+        """Paper: ~20% better."""
+        assert fig6.ironhide_gain_over_sgx > 1.05
+
+    def test_os_gains_dwarf_user_gains(self, fig6):
+        user = fig6.geomeans["user"]["mi6"] / fig6.geomeans["user"]["ironhide"]
+        os_ = fig6.geomeans["os"]["mi6"] / fig6.geomeans["os"]["ironhide"]
+        assert os_ > 2 * user
+
+    def test_user_level_sgx_overhead_negligible(self, fig6):
+        assert fig6.geomeans["user"]["sgx"] < 1.05
+
+    def test_tc_marker_is_tiny(self, fig6):
+        row = next(r for r in fig6.rows if r.app == "<TC, GRAPH>")
+        assert row.secure_cores <= 8
+
+    def test_lighttpd_marker_is_one_or_two(self, fig6):
+        row = next(r for r in fig6.rows if r.app == "<LIGHTTPD, OS>")
+        assert row.secure_cores <= 2
+
+    def test_mi6_overheads_visible_in_breakdown(self, fig6):
+        for row in fig6.rows:
+            assert row.overhead_ms["mi6"] > row.overhead_ms["sgx"] * 0.9
+
+
+class TestFig7:
+    def test_l1_improves_for_most_apps(self, fig7):
+        improving = [r for r in fig7.rows if r.l1_improvement > 1.0]
+        assert len(improving) >= 6
+
+    def test_l1_best_case_band(self, fig7):
+        """Paper: up to ~5.9x; this scaled sim reaches >1.5x."""
+        assert fig7.max_l1_improvement > 1.5
+
+    def test_l2_improves_for_capacity_hungry_apps(self, fig7):
+        assert fig7.row("<SQZ-NET, VISION>").l2_improvement > 1.1
+        assert fig7.row("<ABC, VISION>").l2_improvement > 1.1
+
+    def test_tc_l2_exception(self, fig7):
+        """<TC, GRAPH> slightly worse under IRONHIDE (2 slices)."""
+        assert fig7.row("<TC, GRAPH>").l2_improvement < 1.05
+
+    def test_lighttpd_l2_exception(self, fig7):
+        """<LIGHTTPD, OS> worse under IRONHIDE (1 slice)."""
+        assert fig7.row("<LIGHTTPD, OS>").l2_improvement < 1.0
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def fig8(self, settings):
+        return run_fig8(settings, verbose=False, percents=(25,))
+
+    def test_heuristic_beats_mi6(self, fig8):
+        """Paper: ~2.1x."""
+        assert fig8.heuristic_gain > 1.5
+
+    def test_optimal_at_least_matches_heuristic(self, fig8):
+        assert fig8.series["optimal"] <= fig8.series["heuristic"] * 1.05
+
+    def test_variations_do_not_beat_optimal(self, fig8):
+        assert fig8.series["+25%"] >= fig8.series["optimal"] * 0.98
+        assert fig8.series["-25%"] >= fig8.series["optimal"] * 0.98
+
+
+class TestInteractivityTable:
+    @pytest.fixture(scope="class")
+    def table(self, settings):
+        return run_interactivity_table(settings, verbose=False)
+
+    def test_user_rate_band(self, table):
+        """Paper: ~400 entry/exit events per second."""
+        assert 150 < table.user_rate < 1000
+
+    def test_os_rate_band(self, table):
+        """Paper: ~220K per second."""
+        assert 60_000 < table.os_rate < 500_000
+
+    def test_user_purge_near_paper_constant(self, table):
+        """Paper: ~0.19 ms per interaction event."""
+        user = [r for r in table.rows if r.level == "user"]
+        mean = sum(r.purge_per_interaction_ms for r in user) / len(user)
+        assert 0.08 < mean < 0.8
+
+    def test_os_purges_are_much_cheaper(self, table):
+        user = [r.purge_per_interaction_ms for r in table.rows if r.level == "user"]
+        os_ = [r.purge_per_interaction_ms for r in table.rows if r.level == "os"]
+        assert max(os_) < min(user)
+
+    def test_fullscale_purge_improvement_large(self, table):
+        """Paper: ~706x; order hundreds+ here."""
+        assert table.geomean_purge_improvement > 100
+
+
+class TestAblations:
+    def test_local_homing_beats_hash_on_latency(self):
+        out = ablate_homing(verbose=False)
+        assert out["local-cluster"] < out["hash-global"]
+
+    def test_bidirectional_routing_contains_everything(self):
+        out = ablate_routing(rows=4, cols=4, verbose=False)
+        assert out["xy_only_escapes"] > 0
+        assert out["bidirectional_escapes"] == 0
+
+    def test_dynamic_binding_beats_static(self, settings):
+        out = ablate_binding(settings, verbose=False)
+        assert out["heuristic"] <= 1.02
+        assert out["optimal"] <= out["heuristic"] * 1.05
+
+    def test_purge_anatomy_dynamic_component(self, settings):
+        out = ablate_purge_anatomy(settings, verbose=False)
+        user = out["<PR, GRAPH>"]
+        os_ = out["<MEMCACHED, OS>"]
+        assert user["mc_drain"] > os_["mc_drain"]
+        assert user["dummy_read"] == os_["dummy_read"]  # fixed component
+
+    def test_replication_helps_baseline(self, settings):
+        out = ablate_replication(settings, verbose=False)
+        assert out["replication-on"] < out["replication-off"]

@@ -1,0 +1,98 @@
+"""Tests for the shared IPC buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.config import SystemConfig
+from repro.errors import IPCError
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.isolation import SpatialClusterPolicy
+
+
+@pytest.fixture()
+def env():
+    config = SystemConfig.evaluation()
+    hier = MemoryHierarchy(config)
+    plan = SpatialClusterPolicy(16).plan(config, hier.mesh, hier.dram)
+    ctx_sec = ProcessContext(
+        "sec", "secure",
+        VirtualMemory("sec", hier.address_space, plan.secure_regions),
+        cores=list(plan.secure_cores), slices=list(plan.secure_slices),
+        controllers=list(plan.secure_mcs),
+    )
+    ctx_ins = ProcessContext(
+        "ins", "insecure",
+        VirtualMemory("ins", hier.address_space, plan.insecure_regions),
+        cores=list(plan.insecure_cores), slices=list(plan.insecure_slices),
+        controllers=list(plan.insecure_mcs),
+    )
+    ipc = SharedIpcBuffer(hier, ctx_ins, plan.shared_region)
+    return hier, ctx_sec, ctx_ins, ipc
+
+
+class TestIpcBuffer:
+    def test_send_recv_roundtrip_costs_cycles(self, env):
+        _, ctx_sec, ctx_ins, ipc = env
+        send = ipc.send(ctx_ins, 1024)
+        recv = ipc.recv(ctx_sec, 1024)
+        assert send > 0 and recv > 0
+        assert ipc.stats.messages == 1
+        assert ipc.stats.bytes_moved == 2048
+
+    def test_secure_side_may_access_shared_buffer(self, env):
+        """The paper's one legal cross-domain path (§III-A3)."""
+        _, ctx_sec, ctx_ins, ipc = env
+        ipc.send(ctx_ins, 256)
+        ipc.recv(ctx_sec, 256)  # must not raise an isolation violation
+
+    def test_buffer_homed_in_insecure_slice(self, env):
+        hier, _, ctx_ins, ipc = env
+        assert ipc.home_slice in ctx_ins.slices
+
+    def test_recv_beyond_sent_raises(self, env):
+        _, ctx_sec, _, ipc = env
+        with pytest.raises(IPCError):
+            ipc.recv(ctx_sec, 64)
+
+    def test_oversized_message_rejected(self, env):
+        _, _, ctx_ins, ipc = env
+        with pytest.raises(IPCError):
+            ipc.send(ctx_ins, ipc.capacity + 1)
+
+    def test_nonpositive_size_rejected(self, env):
+        _, _, ctx_ins, ipc = env
+        with pytest.raises(IPCError):
+            ipc.send(ctx_ins, 0)
+
+    def test_pending_bytes(self, env):
+        _, ctx_sec, ctx_ins, ipc = env
+        ipc.send(ctx_ins, 512)
+        assert ipc.pending_bytes == 512
+        ipc.recv(ctx_sec, 512)
+        assert ipc.pending_bytes == 0
+
+    def test_ring_wraps(self, env):
+        _, ctx_sec, ctx_ins, ipc = env
+        for _ in range(10):
+            ipc.send(ctx_ins, ipc.capacity // 2)
+            ipc.recv(ctx_sec, ipc.capacity // 2)
+        assert ipc.stats.messages == 10
+
+    def test_tiny_capacity_rejected(self, env):
+        hier, _, ctx_ins, _ = env
+        with pytest.raises(IPCError):
+            SharedIpcBuffer(hier, ctx_ins, 3, capacity_bytes=8)
+
+    def test_rehome_moves_home_slice(self, env):
+        hier, _, ctx_ins, ipc = env
+        target = ctx_ins.slices[5]
+        ipc.rehome(ctx_ins, home_slice=target)
+        assert ipc.home_slice == target
+
+    def test_rehome_same_slice_is_noop(self, env):
+        _, _, ctx_ins, ipc = env
+        assert ipc.rehome(ctx_ins, home_slice=ipc.home_slice) == 0

@@ -1,0 +1,94 @@
+"""Tests for memory controllers and DRAM regions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.dram import DramSystem
+from repro.arch.memory_controller import MemoryController
+from repro.config import MemConfig, SystemConfig
+from repro.errors import ConfigError, MemoryIsolationViolation
+
+
+@pytest.fixture()
+def mc() -> MemoryController:
+    return MemoryController(0, MemConfig())
+
+
+class TestMemoryController:
+    def test_requests_pipeline(self, mc):
+        first = mc.service_request(0)
+        second = mc.service_request(0)
+        assert second == first + mc.config.mc_service_latency
+
+    def test_idle_request_not_delayed(self, mc):
+        finish = mc.service_request(1000)
+        assert finish == 1000 + mc.config.dram_latency
+
+    def test_queue_wait_accounted(self, mc):
+        mc.service_request(0)
+        mc.service_request(0)
+        assert mc.stats.queue_wait_cycles == mc.config.mc_service_latency
+
+    def test_queue_occupancy(self, mc):
+        mc.service_request(0)
+        mc.service_request(0)
+        assert mc.queue_occupancy(1) == 2
+        assert mc.queue_occupancy(10_000) == 0
+
+    def test_queue_delay_monotone_in_load(self, mc):
+        light = mc.queue_delay(10, 100_000)
+        heavy = mc.queue_delay(1000, 100_000)
+        assert heavy > light >= 0.0
+
+    def test_queue_delay_zero_cases(self, mc):
+        assert mc.queue_delay(0, 1000) == 0.0
+        assert mc.queue_delay(10, 0) == 0.0
+
+    def test_purge_drains_and_costs(self, mc):
+        mc.service_request(0)
+        cycles = mc.purge(dirty_lines_to_drain=10)
+        assert cycles == 11 * mc.config.writeback_drain_latency
+        assert mc.queue_occupancy(0) == 0
+        assert mc.stats.purges == 1
+        assert mc.stats.drained_entries == 11
+
+    def test_read_write_counters(self, mc):
+        mc.service_request(0, is_write=False)
+        mc.service_request(0, is_write=True)
+        assert (mc.stats.reads, mc.stats.writes) == (1, 1)
+
+
+class TestDramSystem:
+    @pytest.fixture()
+    def dram(self) -> DramSystem:
+        return DramSystem(SystemConfig.evaluation())
+
+    def test_regions_stripe_over_controllers(self, dram):
+        assert [r.controller for r in dram.regions] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_regions_for_controllers(self, dram):
+        assert dram.regions_for_controllers([0, 1]) == [0, 1, 4, 5]
+        assert dram.regions_for_controllers([3]) == [3, 7]
+
+    def test_owner_assignment_and_checks(self, dram):
+        dram.assign_owner([0, 4], "secure")
+        dram.assign_owner([3], "shared")
+        dram.check_access(0, "secure")  # own region
+        dram.check_access(3, "insecure")  # shared region open to all
+        dram.check_access(1, "insecure")  # unassigned region open
+        with pytest.raises(MemoryIsolationViolation):
+            dram.check_access(0, "insecure")
+
+    def test_controllers_from_mask(self):
+        assert DramSystem.controllers_from_mask(0b0011, 4) == [0, 1]
+        assert DramSystem.controllers_from_mask(0b1100, 4) == [2, 3]
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(ConfigError):
+            DramSystem.controllers_from_mask(0, 4)
+        with pytest.raises(ConfigError):
+            DramSystem.controllers_from_mask(1 << 4, 4)
+
+    def test_owner_of_defaults_unassigned(self, dram):
+        assert dram.owner_of(6) == "unassigned"

@@ -1,0 +1,145 @@
+"""Tests for scalability profiles and the analytic performance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.model.perf_model import (
+    PerfModel,
+    ProcessCalibration,
+    calibrate_l2_curve,
+    calibration_from_probes,
+)
+from repro.model.speedup import ScalabilityProfile
+from repro.sim.trace import Trace
+
+
+class TestScalability:
+    def test_single_thread_factor_is_one(self):
+        assert ScalabilityProfile(0.1, 0.01).time_factor(1) == pytest.approx(1.0)
+
+    def test_parallel_friendly_improves(self):
+        p = ScalabilityProfile(0.05, 0.001)
+        assert p.time_factor(16) < p.time_factor(2) < p.time_factor(1)
+
+    def test_sync_heavy_prefers_few_threads(self):
+        tc_like = ScalabilityProfile(0.30, 0.30)
+        n, _ = tc_like.best_factor(64)
+        assert n <= 3
+
+    def test_best_factor_bounded_by_any_candidate(self):
+        p = ScalabilityProfile(0.1, 0.002)
+        _, best = p.best_factor(64)
+        for n in (1, 2, 16, 64):
+            assert best <= p.time_factor(n) + 1e-12
+
+    def test_best_factor_monotone_in_budget(self):
+        p = ScalabilityProfile(0.05, 0.001)
+        _, f8 = p.best_factor(8)
+        _, f32 = p.best_factor(32)
+        assert f32 <= f8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalabilityProfile(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            ScalabilityProfile(0.1, -1.0)
+        with pytest.raises(ValueError):
+            ScalabilityProfile(0.1, 0.0).time_factor(0)
+
+    @given(
+        serial=st.floats(min_value=0.0, max_value=1.0),
+        sync=st.floats(min_value=0.0, max_value=0.5),
+        n=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_factor_always_positive(self, serial, sync, n):
+        assert ScalabilityProfile(serial, sync).time_factor(n) > 0
+
+    def test_speedup_is_inverse(self):
+        p = ScalabilityProfile(0.1, 0.001)
+        assert p.speedup(8) == pytest.approx(1.0 / p.time_factor(8))
+
+
+def make_calibration(curve=None, beta=0.0, appetite=0, footprint=256 * 1024):
+    return ProcessCalibration(
+        name="p",
+        instr_cycles=10_000.0,
+        l1_misses=500.0,
+        l2_hit_cycles=5_000.0,
+        dram_penalty=120.0,
+        l2_curve=curve or {1: 400.0, 8: 200.0, 32: 100.0},
+        scalability=ScalabilityProfile(0.1, 0.002),
+        slice_bytes=64 * 1024,
+        probe_footprint_bytes=footprint,
+        appetite_bytes=appetite,
+        capacity_beta=beta,
+    )
+
+
+class TestCalibrationCurve:
+    def test_interpolation_between_points(self):
+        c = make_calibration()
+        mid = c.l2_misses_at(4)
+        assert 200.0 < mid < 400.0
+
+    def test_clamps_outside_range(self):
+        c = make_calibration(footprint=64 * 1024 * 64)
+        assert c.l2_misses_at(1) == 400.0
+        assert c.l2_misses_at(60) == 100.0
+
+    def test_appetite_extension_reduces_misses(self):
+        c = make_calibration(beta=0.8, appetite=4 * 1024 * 1024, footprint=256 * 1024)
+        at_knee = c.l2_misses_at(4)  # 256 KB = probe footprint
+        beyond = c.l2_misses_at(48)  # 3 MB, inside the appetite ramp
+        assert beyond < at_knee
+
+    def test_zero_beta_keeps_curve_flat_beyond_footprint(self):
+        c = make_calibration(beta=0.0, appetite=4 * 1024 * 1024)
+        assert c.l2_misses_at(60) == c.l2_misses_at(32)
+
+    def test_extension_never_negative(self):
+        c = make_calibration(beta=1.0, appetite=1 * 1024 * 1024)
+        assert c.l2_misses_at(62) >= 0.0
+
+
+class TestPerfModel:
+    def test_more_slices_never_slower_with_beta(self):
+        model = PerfModel(SystemConfig.evaluation())
+        c = make_calibration(beta=0.7, appetite=3 * 1024 * 1024)
+        t_small = model.process_time(c, n_cores=8, n_slices=4, n_mcs=2)
+        t_large = model.process_time(c, n_cores=8, n_slices=48, n_mcs=2)
+        assert t_large < t_small
+
+    def test_invalid_resources_are_infeasible(self):
+        model = PerfModel(SystemConfig.evaluation())
+        c = make_calibration()
+        assert model.process_time(c, 0, 4, 1) == float("inf")
+
+    def test_app_completion_adds_both_sides(self):
+        model = PerfModel(SystemConfig.evaluation())
+        c = make_calibration()
+        total = model.app_completion(c, c, 8, 8, 1, 56, 56, 2)
+        assert total > model.process_time(c, 8, 8, 1)
+
+    def test_calibrate_probes_measure_capacity(self, eval_config, rng):
+        # A 512 KB random working set should show fewer misses with more slices.
+        addrs = rng.integers(0, 512 * 1024, size=6000, dtype=np.int64)
+        warm = Trace(addrs)
+        measure = Trace(addrs.copy())
+        probes = calibrate_l2_curve(eval_config, warm, measure, [1, 8])
+        assert probes[8].l2_misses < probes[1].l2_misses
+
+    def test_calibration_from_probes_normalizes(self, eval_config, rng):
+        addrs = rng.integers(0, 64 * 1024, size=2000, dtype=np.int64)
+        trace = Trace(addrs)
+        probes = calibrate_l2_curve(eval_config, trace, trace, [1, 4])
+        calib = calibration_from_probes(
+            eval_config, "p", trace, probes, ScalabilityProfile(), interactions=2
+        )
+        assert calib.l2_curve[1] == probes[1].l2_misses / 2
+        assert calib.instr_cycles > 0

@@ -1,0 +1,79 @@
+"""Tests for the packet-level mesh network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.mesh import MeshTopology
+from repro.arch.noc import MeshNetwork, Packet
+from repro.config import NocConfig
+from repro.errors import NetworkIsolationViolation
+
+
+@pytest.fixture()
+def net() -> MeshNetwork:
+    return MeshNetwork(MeshTopology(8, 8, 4), NocConfig(hop_latency=1, router_latency=1))
+
+
+class TestDelivery:
+    def test_uncontended_latency(self, net):
+        p = net.send(Packet(src=0, dst=7, injected_at=0))
+        assert p.hops == 7
+        assert p.latency == 7 * 2
+
+    def test_zero_hop_packet(self, net):
+        p = net.send(Packet(src=5, dst=5, injected_at=3))
+        assert p.hops == 0
+        assert p.latency == 0
+
+    def test_contention_delays_second_packet(self, net):
+        first = net.send(Packet(src=0, dst=7, size_bytes=512, injected_at=0))
+        second = net.send(Packet(src=0, dst=7, size_bytes=512, injected_at=0))
+        assert second.latency > first.latency
+        assert net.stats.contention_cycles > 0
+
+    def test_disjoint_paths_do_not_contend(self, net):
+        net.send(Packet(src=0, dst=7, injected_at=0))
+        before = net.stats.contention_cycles
+        net.send(Packet(src=56, dst=63, injected_at=0))
+        assert net.stats.contention_cycles == before
+
+    def test_stats_accumulate(self, net):
+        net.send(Packet(src=0, dst=9, injected_at=0))
+        net.send(Packet(src=0, dst=9, injected_at=100))
+        assert net.stats.packets == 2
+        assert net.stats.total_hops == 4
+
+    def test_reset_clears_state(self, net):
+        net.send(Packet(src=0, dst=63, injected_at=0))
+        net.reset()
+        assert net.stats.packets == 0
+        assert net.transit_count(1) == 0
+
+
+class TestContainment:
+    def test_contained_route_chosen(self, net):
+        cluster = frozenset(range(16))
+        p = net.send(Packet(src=0, dst=15, injected_at=0), allowed=cluster)
+        assert set(p.path) <= cluster
+
+    def test_violation_raises(self, net):
+        with pytest.raises(NetworkIsolationViolation):
+            net.send(Packet(src=0, dst=63, injected_at=0), allowed=frozenset(range(8)))
+
+    def test_try_send_counts_blocked(self, net):
+        result = net.try_send(
+            Packet(src=0, dst=63, injected_at=0), allowed=frozenset(range(8))
+        )
+        assert result is None
+        assert net.stats.blocked == 1
+
+    def test_transit_counts_track_path(self, net):
+        p = net.send(Packet(src=0, dst=3, injected_at=0))
+        for tile in p.path[1:]:
+            assert net.transit_count(tile) == 1
+        assert net.transit_count(40) == 0
+
+    def test_prefer_yx(self, net):
+        p = net.send(Packet(src=0, dst=9, injected_at=0), prefer_yx=True)
+        assert p.path == (0, 8, 9)

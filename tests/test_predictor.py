@@ -1,0 +1,115 @@
+"""Tests for the core re-allocation predictors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.secure.predictor import (
+    FixedVariationPredictor,
+    GradientHeuristicPredictor,
+    OptimalPredictor,
+    StaticPredictor,
+)
+
+CANDIDATES = list(range(1, 64))
+
+
+def convex(minimum):
+    return lambda n: (n - minimum) ** 2 + 100.0
+
+
+class TestOptimal:
+    def test_finds_convex_minimum_exactly_without_epsilon(self):
+        result = OptimalPredictor(epsilon=0.0).choose(convex(23), CANDIDATES)
+        assert result.n_secure == 23
+
+    def test_default_epsilon_may_shrink_within_band(self):
+        result = OptimalPredictor().choose(convex(23), CANDIDATES)
+        assert result.n_secure in (21, 22, 23)
+        assert result.estimated_cycles <= 100.0 * 1.02
+
+    def test_evaluates_all_candidates(self):
+        result = OptimalPredictor().choose(convex(10), CANDIDATES)
+        assert result.evaluations == len(CANDIDATES)
+
+    def test_plateau_prefers_smaller_secure_cluster(self):
+        flat = lambda n: 100.0 if n >= 5 else 1000.0
+        result = OptimalPredictor().choose(flat, CANDIDATES)
+        assert result.n_secure == 5
+
+    def test_epsilon_tie_break(self):
+        # 2% epsilon: values within the band count as equivalent.
+        near_flat = lambda n: 100.0 + 0.001 * n
+        result = OptimalPredictor(epsilon=0.02).choose(near_flat, CANDIDATES)
+        assert result.n_secure == 1
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ConfigError):
+            OptimalPredictor().choose(convex(5), [])
+
+
+class TestHeuristic:
+    def test_finds_convex_minimum(self):
+        result = GradientHeuristicPredictor(epsilon=0.0).choose(convex(40), CANDIDATES)
+        assert abs(result.n_secure - 40) <= 1
+
+    def test_uses_fewer_evaluations_than_optimal(self):
+        heuristic = GradientHeuristicPredictor().choose(convex(40), CANDIDATES)
+        optimal = OptimalPredictor().choose(convex(40), CANDIDATES)
+        assert heuristic.evaluations < optimal.evaluations
+
+    def test_plateau_shrink_walks_left(self):
+        flat = lambda n: 100.0 if n >= 3 else 5000.0
+        result = GradientHeuristicPredictor().choose(flat, CANDIDATES)
+        assert result.n_secure == 3
+
+    def test_initial_position_honoured(self):
+        result = GradientHeuristicPredictor(initial=50, epsilon=0.0).choose(
+            convex(50), CANDIDATES
+        )
+        assert result.n_secure == 50
+
+    @given(minimum=st.integers(min_value=1, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_within_five_percent_of_optimal(self, minimum):
+        """Figure 8's claim: the heuristic sits in Optimal's ±5% band."""
+        evaluate = convex(minimum)
+        h = GradientHeuristicPredictor().choose(evaluate, CANDIDATES)
+        o = OptimalPredictor().choose(evaluate, CANDIDATES)
+        assert h.estimated_cycles <= o.estimated_cycles * 1.05
+
+
+class TestFixedVariation:
+    def test_positive_variation_gives_more_cores(self):
+        base = OptimalPredictor(epsilon=0.0)
+        result = FixedVariationPredictor(25, base).choose(convex(20), CANDIDATES)
+        assert result.n_secure == 25
+
+    def test_negative_variation_takes_cores_away(self):
+        base = OptimalPredictor(epsilon=0.0)
+        result = FixedVariationPredictor(-25, base).choose(convex(20), CANDIDATES)
+        assert result.n_secure == 15
+
+    def test_rounds_to_valid_candidate(self):
+        base = OptimalPredictor(epsilon=0.0)
+        result = FixedVariationPredictor(5, base).choose(convex(20), CANDIDATES)
+        assert result.n_secure == 21
+
+    def test_variation_degrades_estimate(self):
+        evaluate = convex(32)
+        best = OptimalPredictor().choose(evaluate, CANDIDATES)
+        varied = FixedVariationPredictor(25).choose(evaluate, CANDIDATES)
+        assert varied.estimated_cycles >= best.estimated_cycles
+
+
+class TestStatic:
+    def test_returns_requested_split(self):
+        result = StaticPredictor(32).choose(convex(5), CANDIDATES)
+        assert result.n_secure == 32
+
+    def test_clamps_to_candidates(self):
+        result = StaticPredictor(100).choose(convex(5), CANDIDATES)
+        assert result.n_secure == 63

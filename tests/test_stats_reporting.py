@@ -1,0 +1,79 @@
+"""Tests for run statistics and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_table, geomean, normalize
+from repro.sim.stats import Breakdown, ProcessStats, RunResult
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        bd = Breakdown(compute=10, crossing=1, purge=2, reconfig=3, attestation=4, ipc=5)
+        assert bd.total == 25
+        assert bd.security_overhead == 15
+
+    def test_as_dict_roundtrip(self):
+        bd = Breakdown(compute=1.5)
+        assert bd.as_dict()["compute"] == 1.5
+
+
+class TestProcessStats:
+    def test_miss_rates(self):
+        s = ProcessStats(accesses=100, l1_misses=25, l2_accesses=25, l2_misses=5)
+        assert s.l1_miss_rate == 0.25
+        assert s.l2_miss_rate == 0.2
+
+    def test_zero_access_guards(self):
+        s = ProcessStats()
+        assert s.l1_miss_rate == 0.0
+        assert s.l2_miss_rate == 0.0
+
+
+class TestRunResult:
+    def _result(self):
+        return RunResult(
+            machine="mi6",
+            app="a",
+            interactions=10,
+            breakdown=Breakdown(compute=800_000, purge=200_000),
+            secure=ProcessStats(accesses=100, l1_misses=20, l2_accesses=20, l2_misses=10),
+            insecure=ProcessStats(accesses=300, l1_misses=20, l2_accesses=20, l2_misses=2),
+        )
+
+    def test_completion_units(self):
+        r = self._result()
+        assert r.completion_cycles == 1_000_000
+        assert r.completion_ms == pytest.approx(1.0)
+        assert r.completion_s == pytest.approx(0.001)
+
+    def test_weighted_miss_rates(self):
+        r = self._result()
+        assert r.l1_miss_rate == pytest.approx(40 / 400)
+        assert r.l2_miss_rate == pytest.approx(12 / 40)
+
+    def test_purge_share(self):
+        assert self._result().purge_share == pytest.approx(0.2)
+
+
+class TestReporting:
+    def test_geomean_basics(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([3]) == pytest.approx(3.0)
+
+    def test_geomean_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_format_table_aligns(self):
+        out = format_table(["name", "v"], [["a", 1.5], ["long-name", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+
+    def test_normalize(self):
+        values = {"a": 2.0, "b": 4.0}
+        assert normalize(values, "a") == {"a": 1.0, "b": 2.0}

@@ -1,0 +1,99 @@
+"""Tests for the AES-256 implementation (FIPS-197 / NIST vectors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.aes import (
+    _SBOX,
+    encrypt_block,
+    encrypt_ctr,
+    encrypt_ecb,
+    expand_key,
+)
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS-197 Figure 7.
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+        assert _SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+
+class TestKeyExpansion:
+    def test_fips197_a3_first_round_keys(self):
+        # FIPS-197 Appendix A.3 key expansion for AES-256.
+        key = bytes.fromhex(
+            "603deb1015ca71be2b73aef0857d7781"
+            "1f352c073b6108d72d9810a30914dff4"
+        )
+        round_keys = expand_key(key)
+        assert len(round_keys) == 15
+        assert bytes(round_keys[0]).hex() == "603deb1015ca71be2b73aef0857d7781"
+        assert bytes(round_keys[1]).hex() == "1f352c073b6108d72d9810a30914dff4"
+        # w[8..11] from the FIPS walkthrough: 9ba35411 8e6925af a51a8b5f 2067fcde
+        assert bytes(round_keys[2]).hex() == "9ba354118e6925afa51a8b5f2067fcde"
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            expand_key(b"short")
+
+
+class TestEncryptBlock:
+    def test_fips197_c3_vector(self):
+        # FIPS-197 Appendix C.3: AES-256 known-answer test.
+        key = bytes(range(32))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = "8ea2b7ca516745bfeafc49904b496089"
+        assert encrypt_block(plaintext, expand_key(key)).hex() == expected
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        # NIST SP 800-38A F.1.5 ECB-AES256.Encrypt, first block.
+        key = bytes.fromhex(
+            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+        )
+        block = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = "f3eed1bdb5d2a03c064b5a7e3db181f8"
+        assert encrypt_block(block, expand_key(key)).hex() == expected
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt_block(b"tiny", expand_key(bytes(32)))
+
+
+class TestModes:
+    KEY = bytes(range(32))
+
+    def test_ecb_pads_and_chains_blocks(self):
+        data = b"hello world, this is a query"
+        ct = encrypt_ecb(data, self.KEY)
+        assert len(ct) % 16 == 0
+        assert ct != data
+
+    def test_ecb_equal_blocks_equal_ciphertext(self):
+        ct = encrypt_ecb(b"A" * 32, self.KEY)
+        assert ct[:16] == ct[16:32]  # the classic ECB weakness, by design
+
+    def test_ctr_roundtrip(self):
+        data = b"SELECT balance FROM accounts WHERE id = 42;"
+        nonce = b"\x01" * 8
+        ct = encrypt_ctr(data, self.KEY, nonce)
+        assert encrypt_ctr(ct, self.KEY, nonce) == data
+
+    def test_ctr_is_length_preserving(self):
+        assert len(encrypt_ctr(b"abc", self.KEY, b"\x00" * 8)) == 3
+
+    def test_ctr_nonce_matters(self):
+        data = b"0123456789abcdef"
+        a = encrypt_ctr(data, self.KEY, b"\x00" * 8)
+        b = encrypt_ctr(data, self.KEY, b"\x01" * 8)
+        assert a != b
+
+    def test_ctr_bad_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt_ctr(b"x", self.KEY, b"short")

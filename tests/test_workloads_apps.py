@@ -1,0 +1,232 @@
+"""Tests for vision, neural, ABC, KV store, web server and mini-OS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.abc_planner import AbcResult, optimize, route_cost_objective
+from repro.workloads.kv import KvStats, MiniMemcached, memtier_request
+from repro.workloads.neural import (
+    conv2d,
+    fire_module,
+    max_pool,
+    relu,
+    tiny_alexnet_forward,
+)
+from repro.workloads.os_proc import MiniOs
+from repro.workloads.vision import demosaic, gaussian_blur, tone_map, vision_pipeline
+from repro.workloads.web import MiniHttpd, http_load_request
+
+
+class TestVisionKernels:
+    def test_demosaic_shape_and_channels(self):
+        raw = np.arange(64, dtype=np.float32).reshape(8, 8)
+        rgb = demosaic(raw)
+        assert rgb.shape == (8, 8, 3)
+
+    def test_demosaic_rejects_odd_frames(self):
+        with pytest.raises(ValueError):
+            demosaic(np.zeros((7, 8)))
+
+    def test_blur_reduces_variance(self, rng):
+        img = rng.random((16, 16)).astype(np.float32)
+        blurred = gaussian_blur(img, passes=3)
+        assert blurred.var() < img.var()
+
+    def test_blur_preserves_constants(self):
+        img = np.full((8, 8), 3.0, dtype=np.float32)
+        assert np.allclose(gaussian_blur(img), 3.0, atol=1e-5)
+
+    def test_tone_map_range(self, rng):
+        img = rng.random((8, 8)).astype(np.float32) * 900
+        out = tone_map(img)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_pipeline_end_to_end(self, rng):
+        raw = (rng.random((16, 16)) * 255).astype(np.float32)
+        out = vision_pipeline(raw)
+        assert out.shape == (16, 16, 3)
+        assert np.isfinite(out).all()
+
+
+class TestNeuralLayers:
+    def test_conv2d_matches_manual(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        w = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = conv2d(x, w)
+        # Top-left: 0+1+4+5 = 10.
+        assert out[0, 0, 0] == pytest.approx(10.0)
+        assert out.shape == (1, 3, 3)
+
+    def test_conv2d_stride(self):
+        x = np.ones((1, 6, 6), dtype=np.float32)
+        w = np.ones((2, 1, 2, 2), dtype=np.float32)
+        assert conv2d(x, w, stride=2).shape == (2, 3, 3)
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(np.ones((2, 4, 4), dtype=np.float32), np.ones((1, 3, 2, 2), dtype=np.float32))
+
+    def test_relu(self):
+        assert np.array_equal(relu(np.asarray([-1.0, 2.0])), np.asarray([0.0, 2.0]))
+
+    def test_max_pool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        pooled = max_pool(x, 2)
+        assert pooled.shape == (1, 2, 2)
+        assert pooled[0, 0, 0] == 5.0
+
+    def test_fire_module_concatenates_expansions(self, rng):
+        x = rng.random((4, 8, 8)).astype(np.float32)
+        sq = rng.random((2, 4, 1, 1)).astype(np.float32)
+        e1 = rng.random((3, 2, 1, 1)).astype(np.float32)
+        e3 = rng.random((3, 2, 3, 3)).astype(np.float32)
+        out = fire_module(x, sq, e1, e3)
+        assert out.shape[0] == 6
+
+    def test_tiny_alexnet_outputs_logits(self, rng):
+        x = rng.random((3, 20, 20)).astype(np.float32)
+        logits = tiny_alexnet_forward(x, rng)
+        assert logits.shape == (10,)
+
+
+class TestAbcPlanner:
+    def test_optimizer_beats_initial_population(self, rng):
+        objective = route_cost_objective()
+        result = optimize(objective, dims=6, bounds=(-2.0, 2.0), rng=rng, iterations=30)
+        random_costs = [objective(rng.uniform(-2, 2, size=6)) for _ in range(50)]
+        assert result.best_fitness <= np.median(random_costs)
+
+    def test_result_within_bounds(self, rng):
+        result = optimize(lambda x: float(np.sum(x**2)), 4, (-1.0, 1.0), rng, iterations=20)
+        assert np.all(result.best >= -1.0) and np.all(result.best <= 1.0)
+
+    def test_evaluations_counted(self, rng):
+        result = optimize(lambda x: float(np.sum(x**2)), 3, (-1.0, 1.0), rng, iterations=5)
+        assert result.evaluations > 0
+
+    def test_converges_on_sphere(self, rng):
+        result = optimize(
+            lambda x: float(np.sum(x**2)), 3, (-5.0, 5.0), rng,
+            colony_size=30, iterations=120,
+        )
+        assert result.best_fitness < 1.0
+
+
+class TestMiniMemcached:
+    def test_set_get_roundtrip(self):
+        kv = MiniMemcached()
+        kv.set(b"k", b"v")
+        assert kv.get(b"k") == b"v"
+
+    def test_miss_returns_none(self):
+        kv = MiniMemcached()
+        assert kv.get(b"missing") is None
+        assert kv.stats.misses == 1
+
+    def test_capacity_evicts_lru(self):
+        kv = MiniMemcached(capacity_bytes=400)
+        kv.set(b"a", b"x" * 100)
+        kv.set(b"b", b"y" * 100)
+        kv.get(b"a")  # a becomes MRU
+        kv.set(b"c", b"z" * 100)  # evicts b
+        assert kv.get(b"a") is not None
+        assert kv.get(b"b") is None
+        assert kv.stats.evictions >= 1
+
+    def test_used_bytes_tracks_overwrites(self):
+        kv = MiniMemcached()
+        kv.set(b"k", b"1" * 100)
+        used = kv.used_bytes
+        kv.set(b"k", b"2" * 10)
+        assert kv.used_bytes < used
+        assert len(kv) == 1
+
+    def test_delete(self):
+        kv = MiniMemcached()
+        kv.set(b"k", b"v")
+        assert kv.delete(b"k") is True
+        assert kv.delete(b"k") is False
+        assert kv.used_bytes == 0
+
+    def test_hit_rate(self):
+        kv = MiniMemcached()
+        kv.set(b"k", b"v")
+        kv.get(b"k")
+        kv.get(b"nope")
+        assert kv.stats.hit_rate == pytest.approx(0.5)
+
+    def test_memtier_request_mostly_gets(self, rng):
+        ops = [memtier_request(rng)[0] for _ in range(500)]
+        get_share = ops.count("get") / len(ops)
+        assert 0.8 < get_share < 1.0
+
+
+class TestMiniHttpd:
+    def test_serves_existing_page(self):
+        httpd = MiniHttpd(page_bytes=128, n_pages=4)
+        resp = httpd.handle("GET /page0001.html HTTP/1.1")
+        assert resp.status == 200
+        assert len(resp.body) == 128
+        assert resp.headers["Content-Length"] == "128"
+
+    def test_404_for_missing_page(self):
+        httpd = MiniHttpd(n_pages=2)
+        assert httpd.handle("GET /nope.html HTTP/1.1").status == 404
+
+    def test_400_for_malformed_request(self):
+        httpd = MiniHttpd(n_pages=1)
+        assert httpd.handle("DELETE /x").status == 400
+        assert httpd.handle("GET /a b c").status == 400
+
+    def test_request_counter(self):
+        httpd = MiniHttpd(n_pages=2)
+        httpd.handle("GET /page0000.html HTTP/1.1")
+        httpd.handle("GET /page0001.html HTTP/1.1")
+        assert httpd.requests_served == 2
+
+    def test_http_load_request_format(self, rng):
+        line = http_load_request(rng, n_pages=8)
+        parts = line.split()
+        assert parts[0] == "GET" and parts[2] == "HTTP/1.1"
+        httpd = MiniHttpd(n_pages=8)
+        assert httpd.handle(line).status == 200
+
+
+class TestMiniOs:
+    def test_open_read_write_cycle(self):
+        os_ = MiniOs()
+        fd = os_.open("/tmp/file")
+        os_.writev(fd, [b"hello ", b"world"])
+        os_.close(fd)
+        fd2 = os_.open("/tmp/file")
+        assert os_.fread(fd2, 11) == b"hello world"
+
+    def test_fread_advances_offset(self):
+        os_ = MiniOs()
+        fd = os_.open("/f")
+        os_.writev(fd, [b"abcdef"])
+        fd2 = os_.open("/f")
+        assert os_.fread(fd2, 3) == b"abc"
+        assert os_.fread(fd2, 3) == b"def"
+
+    def test_fcntl_returns_previous_flags(self):
+        os_ = MiniOs()
+        fd = os_.open("/f")
+        assert os_.fcntl(fd, 0o644) == 0
+        assert os_.fcntl(fd, 0o600) == 0o644
+
+    def test_close_invalidates_fd(self):
+        os_ = MiniOs()
+        fd = os_.open("/f")
+        os_.close(fd)
+        with pytest.raises(KeyError):
+            os_.fread(fd, 1)
+
+    def test_syscall_counter(self):
+        os_ = MiniOs()
+        fd = os_.open("/f")
+        os_.writev(fd, [b"x"])
+        os_.close(fd)
+        assert os_.syscalls == 3

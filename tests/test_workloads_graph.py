@@ -1,0 +1,117 @@
+"""Tests for the road network and the real graph algorithms.
+
+networkx serves as the oracle for SSSP, PageRank and triangle counts.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    RoadNetwork,
+    generate_temporal_updates,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+
+
+@pytest.fixture(scope="module")
+def graph() -> RoadNetwork:
+    return RoadNetwork.california_like(n_nodes=256, seed=11)
+
+
+def to_networkx(graph: RoadNetwork) -> nx.Graph:
+    g = nx.Graph()
+    for v in range(graph.n_nodes):
+        targets, weights = graph.neighbors(v)
+        for t, w in zip(targets, weights):
+            g.add_edge(int(v), int(t), weight=float(w))
+    return g
+
+
+class TestStructure:
+    def test_csr_well_formed(self, graph):
+        assert graph.offsets[0] == 0
+        assert graph.offsets[-1] == graph.n_edges
+        assert np.all(np.diff(graph.offsets) >= 0)
+        assert np.all(graph.targets < graph.n_nodes)
+        assert np.all(graph.weights > 0)
+
+    def test_road_like_low_degree(self, graph):
+        degrees = np.diff(graph.offsets)
+        assert degrees.mean() < 8  # roads, not social networks
+
+    def test_symmetric_adjacency(self, graph):
+        pairs = set()
+        for v in range(graph.n_nodes):
+            targets, _ = graph.neighbors(v)
+            for t in targets:
+                pairs.add((v, int(t)))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_connected(self, graph):
+        assert nx.is_connected(to_networkx(graph))
+
+    def test_deterministic_by_seed(self):
+        a = RoadNetwork.california_like(n_nodes=64, seed=3)
+        b = RoadNetwork.california_like(n_nodes=64, seed=3)
+        assert np.array_equal(a.targets, b.targets)
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestAlgorithms:
+    def test_sssp_matches_networkx(self, graph):
+        dist = sssp(graph, source=0)
+        oracle = nx.single_source_dijkstra_path_length(to_networkx(graph), 0)
+        for v in range(0, graph.n_nodes, 17):
+            assert dist[v] == pytest.approx(oracle[v])
+
+    def test_sssp_source_distance_zero(self, graph):
+        assert sssp(graph, source=5)[5] == 0.0
+
+    def test_pagerank_is_distribution(self, graph):
+        rank = pagerank(graph, iterations=30)
+        assert rank.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(rank > 0)
+
+    def test_pagerank_matches_networkx_ordering(self, graph):
+        rank = pagerank(graph, iterations=50)
+        oracle = nx.pagerank(to_networkx(graph), alpha=0.85, weight=None)
+        ours_top = set(np.argsort(rank)[-10:])
+        theirs_top = {
+            v for v, _ in sorted(oracle.items(), key=lambda kv: kv[1])[-10:]
+        }
+        assert len(ours_top & theirs_top) >= 5
+
+    def test_triangle_count_matches_networkx(self, graph):
+        ours = triangle_count(graph)
+        theirs = sum(nx.triangles(to_networkx(graph)).values()) // 3
+        assert ours == theirs
+
+    def test_triangle_count_on_known_graph(self):
+        # A single 2x2 grid block with one diagonal shortcut has 2 triangles.
+        g = RoadNetwork.california_like(n_nodes=9, seed=1, shortcut_fraction=0.0)
+        assert triangle_count(g) == 0  # pure grid has no triangles
+
+
+class TestTemporalUpdates:
+    def test_updates_apply_in_place(self, graph):
+        rng = np.random.default_rng(0)
+        edges, weights = generate_temporal_updates(graph, rng, batch=16)
+        graph.with_updated_weights(edges, weights)
+        assert np.allclose(graph.weights[edges], weights)
+
+    def test_update_weights_bounded(self, graph):
+        rng = np.random.default_rng(1)
+        _, weights = generate_temporal_updates(graph, rng, batch=64)
+        assert np.all(weights >= 0.5) and np.all(weights <= 20.0)
+
+    def test_sssp_reacts_to_updates(self):
+        graph = RoadNetwork.california_like(n_nodes=64, seed=5)
+        before = sssp(graph, 0).sum()
+        graph.weights[:] = graph.weights * 10
+        after = sssp(graph, 0).sum()
+        assert after > before

@@ -1,0 +1,74 @@
+"""Calibration harness: prints the paper's headline comparisons.
+
+Run during development to check the reproduction bands:
+
+    python tools/calibrate.py [n_interactions_user] [n_interactions_os]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import APPS, SystemConfig, build_machine
+from repro.units import ms_from_cycles
+
+
+def geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def main() -> None:
+    n_user = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    n_os = int(sys.argv[2]) if len(sys.argv) > 2 else 160
+    cfg = SystemConfig.evaluation()
+    machines = ("insecure", "sgx", "mi6", "ironhide")
+    rows = {}
+    calibration_cache = {}
+    t0 = time.time()
+    for app in APPS:
+        n = n_user if app.level == "user" else n_os
+        rows[app.name] = {}
+        for m in machines:
+            kwargs = {"calibration_cache": calibration_cache} if m == "ironhide" else {}
+            machine = build_machine(m, cfg, **kwargs)
+            rows[app.name][m] = machine.run(app, n_interactions=n)
+    print(f"[{time.time() - t0:.1f}s total]")
+
+    print(f"\n{'app':<20s} {'SGX/ins':>8s} {'MI6/ins':>8s} {'IH/ins':>8s} "
+          f"{'MI6/IH':>8s} {'nsec':>5s} {'purge/int(ms)':>14s} "
+          f"{'L1 mi6/ih':>12s} {'L2 mi6/ih':>12s}")
+    ratios = {m: [] for m in machines}
+    cls_ratios = {"user": {m: [] for m in machines}, "os": {m: [] for m in machines}}
+    for app in APPS:
+        r = rows[app.name]
+        base = r["insecure"].completion_cycles
+        vals = {m: r[m].completion_cycles / base for m in machines}
+        n = n_user if app.level == "user" else n_os
+        purge_per = ms_from_cycles(r["mi6"].breakdown.purge / n)
+        for m in machines:
+            ratios[m].append(vals[m])
+            cls_ratios[app.level][m].append(vals[m])
+        print(f"{app.name:<20s} {vals['sgx']:>8.3f} {vals['mi6']:>8.3f} {vals['ironhide']:>8.3f} "
+              f"{vals['mi6']/vals['ironhide']:>8.3f} {r['ironhide'].secure_cores:>5d} "
+              f"{purge_per:>14.4f} "
+              f"{r['mi6'].l1_miss_rate:>5.3f}/{r['ironhide'].l1_miss_rate:<5.3f} "
+              f"{r['mi6'].l2_miss_rate:>5.3f}/{r['ironhide'].l2_miss_rate:<5.3f}")
+    print("\ngeomean (all):  SGX %.3f  MI6 %.3f  IH %.3f  MI6/IH %.3f" % (
+        geomean(ratios["sgx"]), geomean(ratios["mi6"]), geomean(ratios["ironhide"]),
+        geomean(ratios["mi6"]) / geomean(ratios["ironhide"])))
+    for lvl in ("user", "os"):
+        print("geomean (%s): SGX %.3f  MI6 %.3f  IH %.3f  MI6/IH %.3f  IH/SGX %.3f" % (
+            lvl,
+            geomean(cls_ratios[lvl]["sgx"]), geomean(cls_ratios[lvl]["mi6"]),
+            geomean(cls_ratios[lvl]["ironhide"]),
+            geomean(cls_ratios[lvl]["mi6"]) / geomean(cls_ratios[lvl]["ironhide"]),
+            geomean(cls_ratios[lvl]["ironhide"]) / geomean(cls_ratios[lvl]["sgx"])))
+    print("\ntargets: SGX~1.33 MI6~2.25 IH~1.11 MI6/IH~2.1 | user: IH/SGX~1.087, MI6/IH~1.3-1.5 | "
+          "os: MI6/IH~3-5 | purge/int user ~0.19ms | L1 up to 5.9x | L2 up to 2x")
+
+
+if __name__ == "__main__":
+    main()
