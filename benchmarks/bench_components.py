@@ -48,6 +48,25 @@ def test_trace_replay_throughput(benchmark):
     assert benchmark(work) == 30_000
 
 
+def test_trace_replay_throughput_vector(benchmark):
+    """The batched engine on the same stream as the scalar bench above."""
+    config = SystemConfig.evaluation().with_engine("vector")
+    hier = MemoryHierarchy(config)
+    vm = VirtualMemory("p", hier.address_space, [0, 1])
+    ctx = ProcessContext(
+        "p", "secure", vm, cores=list(range(16)), slices=list(range(16)),
+        controllers=[0, 1],
+    )
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 1 << 20, size=30_000, dtype=np.int64)
+    writes = (rng.random(30_000) < 0.3).astype(np.int8)
+
+    def work():
+        return hier.run_trace(ctx, trace, writes).accesses
+
+    assert benchmark(work) == 30_000
+
+
 def test_routing_throughput(benchmark):
     mesh = MeshTopology(8, 8, 4)
     cluster = frozenset(range(24))

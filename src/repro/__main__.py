@@ -61,9 +61,22 @@ def main(argv=None) -> int:
         help="reduced interaction counts (faster, noisier)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="vector",
+        help="trace-replay engine (identical results; vector is faster)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment matrices (default: serial)",
+    )
     args = parser.parse_args(argv)
 
-    settings = ExperimentSettings(seed=args.seed)
+    settings = ExperimentSettings(seed=args.seed, jobs=args.jobs)
+    settings.config = settings.config.with_engine(args.engine)
     if args.quick:
         settings = settings.quickened(4)
 

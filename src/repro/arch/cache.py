@@ -70,6 +70,27 @@ class CacheStats:
         )
 
 
+def primed_lines_for_set(
+    n_sets: int, assoc: int, set_index: int, tag_base: int
+) -> List[int]:
+    """Line ids an attacker primes into one set (Prime+Probe support).
+
+    The set-index bits occupy the low ``log2(n_sets)`` bits of a line
+    id, so each way's line is ``tag << set_bits | set_index``.  Computed
+    once here so that every cache implementation primes the same lines;
+    the result is asserted distinct and set-aligned because the whole
+    Prime+Probe attack model rests on those two properties.
+    """
+    set_mask = n_sets - 1
+    set_bits = set_mask.bit_length()
+    primed = [((tag_base + way) << set_bits) | set_index for way in range(assoc)]
+    assert len(set(primed)) == assoc, "primed lines must be distinct"
+    assert all(line & set_mask == set_index for line in primed), (
+        "primed lines must all map to the requested set"
+    )
+    return primed
+
+
 class SetAssocCache:
     """A set-associative, write-back, write-allocate cache.
 
@@ -189,13 +210,9 @@ class SetAssocCache:
 
         Returns the line ids primed into the set.
         """
-        primed = []
-        for way in range(self.assoc):
-            line_id = ((tag_base + way) << int(self.n_sets).bit_length() - 1) | set_index
-            # Ensure the line maps to the requested set.
-            line_id = (line_id & ~self._set_mask) | set_index
+        primed = primed_lines_for_set(self.n_sets, self.assoc, set_index, tag_base)
+        for line_id in primed:
             self.access(line_id, False)
-            primed.append(line_id)
         return primed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,12 +26,37 @@ isolation) evicts resident lines and rewrites the home table.
 L1 hits; the replayer therefore simulates only line-change events and
 credits the rest as hits, which cuts Python-loop work several-fold
 without changing any counter.
+
+*Replay engines.*  ``SystemConfig.replay_engine`` selects between two
+implementations of the event replay:
+
+``scalar``
+    The reference oracle: one Python-level ``SetAssocCache.access`` call
+    per event, exactly as a hardware walk would order them.
+
+``vector``
+    The batched engine.  Translation, homing, TLB page-change detection
+    and all latency arithmetic are vectorized with NumPy; cache events
+    run through :class:`repro.arch.vector_cache.VectorCache` batch
+    kernels — the full event list filters through the L1 once, and the
+    surviving misses are segmented by home slice and replayed per slice.
+    A second, *sticky-hit* compression pass removes events whose line
+    equals the previous access to the same L1 set (guaranteed hits that
+    cannot change LRU order), with their write flags OR-ed into the
+    surviving base event.  Both engines produce bit-identical
+    :class:`TraceResult` counters, cache contents and stats; the
+    equivalence suite in ``tests/test_replay_equivalence.py`` enforces
+    this.  To keep the cycle arithmetic independent of summation order,
+    cluster-average hop distances are quantized to 1/64 of a hop, which
+    makes every latency term a dyadic rational that float64 accumulates
+    exactly.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,9 +65,13 @@ from repro.arch.cache import SetAssocCache
 from repro.arch.dram import DramSystem
 from repro.arch.memory_controller import MemoryController
 from repro.arch.mesh import MeshTopology
+from repro.arch.native import NativeCache, NativeTlb, native_available
 from repro.arch.tlb import Tlb
+from repro.arch.vector_cache import VectorCache
 from repro.config import SystemConfig
 from repro.errors import CacheIsolationViolation, ConfigError
+
+AnyCache = Union[SetAssocCache, VectorCache, NativeCache]
 
 
 @dataclass
@@ -136,6 +165,13 @@ class MemoryHierarchy:
 
     def __init__(self, config: SystemConfig, mesh: Optional[MeshTopology] = None):
         self.config = config
+        self.engine = config.replay_engine
+        if self.engine == "vector":
+            self.backend = "native" if native_available() else "python"
+            self._cache_cls = NativeCache if self.backend == "native" else VectorCache
+        else:
+            self.backend = "python"
+            self._cache_cls = SetAssocCache
         self.mesh = mesh or MeshTopology(
             config.mesh_rows, config.mesh_cols, config.mem.n_controllers
         )
@@ -144,9 +180,9 @@ class MemoryHierarchy:
         self.controllers = [
             MemoryController(i, config.mem) for i in range(config.mem.n_controllers)
         ]
-        self._l1: Dict[int, SetAssocCache] = {}
-        self._tlb: Dict[int, Tlb] = {}
-        self._l2: Dict[int, SetAssocCache] = {}
+        self._l1: Dict[int, AnyCache] = {}
+        self._tlb: Dict[int, Union[Tlb, NativeTlb]] = {}
+        self._l2: Dict[int, AnyCache] = {}
         self.shared_frames: set = set()
         self.home_table = np.full(self.address_space.total_frames, -1, dtype=np.int32)
         self._lines_per_page = config.page_bytes // config.line_bytes
@@ -161,28 +197,33 @@ class MemoryHierarchy:
         )
         self._frames_per_region = frames_per_region
         self._avg_dist_cache: Dict[tuple, list] = {}
+        # Contexts with L2 replication enabled, tracked (weakly, by
+        # identity — ProcessContext is an eq-dataclass and unhashable)
+        # so purges and page moves can invalidate replica bookkeeping.
+        self._replica_refs: Dict[int, "weakref.ref[ProcessContext]"] = {}
 
     # ------------------------------------------------------------------
     # Component accessors (lazy)
     # ------------------------------------------------------------------
-    def l1_for(self, core: int) -> SetAssocCache:
+    def l1_for(self, core: int) -> AnyCache:
         cache = self._l1.get(core)
         if cache is None:
-            cache = SetAssocCache(self.config.l1, f"L1[{core}]")
+            cache = self._cache_cls(self.config.l1, f"L1[{core}]")
             self._l1[core] = cache
         return cache
 
-    def tlb_for(self, core: int) -> Tlb:
+    def tlb_for(self, core: int):
         tlb = self._tlb.get(core)
         if tlb is None:
-            tlb = Tlb(self.config.tlb, f"TLB[{core}]")
+            tlb_cls = NativeTlb if self.backend == "native" else Tlb
+            tlb = tlb_cls(self.config.tlb, f"TLB[{core}]")
             self._tlb[core] = tlb
         return tlb
 
-    def l2_slice(self, tile: int) -> SetAssocCache:
+    def l2_slice(self, tile: int) -> AnyCache:
         cache = self._l2.get(tile)
         if cache is None:
-            cache = SetAssocCache(self.config.l2_slice, f"L2[{tile}]")
+            cache = self._cache_cls(self.config.l2_slice, f"L2[{tile}]")
             self._l2[tile] = cache
         return cache
 
@@ -212,24 +253,78 @@ class MemoryHierarchy:
 
         Models ``tmc_alloc_unmap`` + ``tmc_alloc_set_home`` +
         ``tmc_alloc_remap``: resident lines of each page are flushed from
-        the old home slice, then the page is re-assigned.
+        the old home slice, then the page is re-assigned.  Replicas of
+        the flushed lines are dropped from every replicating context —
+        the moved page's lines are no longer resident anywhere, so a
+        later re-access must pay the full home-slice round trip again.
         """
         evicted = 0
-        lpp = self._lines_per_page
+        moved: List[int] = []
         for frame in frames:
             f = int(frame)
             old = int(self.home_table[f])
             new = ctx.next_local_slice()
             if old == new:
                 continue
-            if old >= 0 and old in self._l2:
-                old_cache = self._l2[old]
-                base = f * lpp
-                for line in range(base, base + lpp):
-                    if old_cache.evict_line(line):
-                        evicted += 1
+            evicted += self._evict_frame_lines(old, f)
             self.home_table[f] = new
+            moved.append(f)
+        self._drop_replicas(moved)
         return evicted
+
+    def drop_frame_lines(self, frame: int) -> int:
+        """Evict one frame's lines and unassign its home (page migration).
+
+        Used when a page moves across the DRAM-region boundary during
+        cluster reconfiguration; also invalidates any replicas of the
+        dropped lines.  Returns the number of lines evicted.
+        """
+        f = int(frame)
+        home = int(self.home_table[f])
+        self.home_table[f] = -1
+        evicted = self._evict_frame_lines(home, f)
+        self._drop_replicas([f])
+        return evicted
+
+    def _evict_frame_lines(self, home: int, frame: int) -> int:
+        """Evict one frame's resident lines from its home slice."""
+        if home < 0 or home not in self._l2:
+            return 0
+        cache = self._l2[home]
+        base = frame * self._lines_per_page
+        evicted = 0
+        for line in range(base, base + self._lines_per_page):
+            if cache.evict_line(line):
+                evicted += 1
+        return evicted
+
+    def _replicating_contexts(self) -> List[ProcessContext]:
+        """Live registered contexts with replica state (prunes dead refs)."""
+        live: List[ProcessContext] = []
+        dead: List[int] = []
+        for key, ref in self._replica_refs.items():
+            ctx = ref()
+            if ctx is None:
+                dead.append(key)
+            elif ctx._replicated:
+                live.append(ctx)
+        for key in dead:
+            del self._replica_refs[key]
+        return live
+
+    def _drop_replicas(self, frames: Sequence[int]) -> None:
+        """Forget replicas of all lines belonging to the given frames."""
+        if not frames:
+            return
+        ctxs = self._replicating_contexts()
+        if not ctxs:
+            return
+        frameset = {int(f) for f in frames}
+        shift = self._lp_shift
+        for ctx in ctxs:
+            replicated = ctx._replicated
+            stale = [line for line in replicated if (line >> shift) in frameset]
+            replicated.difference_update(stale)
 
     def frames_homed_in(self, slices: Sequence[int]) -> List[int]:
         """All frames whose home lies in the given slice set."""
@@ -249,6 +344,8 @@ class MemoryHierarchy:
 
         ``addrs`` is a 1-D int64 array of byte addresses; ``writes`` an
         optional boolean/int array of the same length (default: reads).
+        The replay implementation is selected by the configuration's
+        ``replay_engine`` flag; both engines return identical counters.
         """
         result = TraceResult()
         n = len(addrs)
@@ -256,7 +353,9 @@ class MemoryHierarchy:
             return result
         result.accesses = n
 
-        cfg = self.config
+        if ctx.replication:
+            self._replica_refs[id(ctx)] = weakref.ref(ctx)
+
         vlines = addrs >> self._line_shift
         if writes is None:
             writes = np.zeros(n, dtype=np.int8)
@@ -270,8 +369,7 @@ class MemoryHierarchy:
         idx = np.flatnonzero(change)
         ev_vlines = vlines[idx]
         ev_writes = np.maximum.reduceat(writes, idx)
-        n_events = len(idx)
-        compressed_hits = n - n_events  # guaranteed L1 hits inside runs
+        compressed_hits = n - len(idx)  # guaranteed L1 hits inside runs
 
         # Translation (per unique page) and homing.
         ev_vpages = ev_vlines >> self._lp_shift
@@ -284,6 +382,37 @@ class MemoryHierarchy:
         ev_plines = ev_frames * self._lines_per_page + (ev_vlines & self._lp_mask)
         ev_homes = self.home_table[ev_frames]
         ev_mcs = self._mc_of_region[ev_frames // self._frames_per_region]
+
+        if self.engine == "vector":
+            self._replay_vector(
+                ctx, result, ev_vpages, ev_writes, ev_plines, ev_homes, ev_mcs,
+                compressed_hits,
+            )
+        else:
+            self._replay_scalar(
+                ctx, result, ev_vpages, ev_writes, ev_plines, ev_homes, ev_mcs,
+                compressed_hits,
+            )
+        for mc, reqs in result.mc_requests.items():
+            self.controllers[mc].record_traffic(reqs, 0)
+        return result
+
+    # ------------------------------------------------------------------
+    # Scalar engine (reference oracle)
+    # ------------------------------------------------------------------
+    def _replay_scalar(
+        self,
+        ctx: ProcessContext,
+        result: TraceResult,
+        ev_vpages: np.ndarray,
+        ev_writes: np.ndarray,
+        ev_plines: np.ndarray,
+        ev_homes: np.ndarray,
+        ev_mcs: np.ndarray,
+        compressed_hits: int,
+    ) -> None:
+        cfg = self.config
+        n_events = len(ev_plines)
 
         # Pre-converted python lists make the event loop ~2x faster.
         pages_l = ev_vpages.tolist()
@@ -375,16 +504,175 @@ class MemoryHierarchy:
         result.l2_writebacks = sum(
             self._l2[t].stats.delta(snap).writebacks for t, snap in l2_snaps.items()
         )
-        for mc, reqs in mc_requests.items():
-            self.controllers[mc].record_traffic(reqs, 0)
-        return result
+
+    # ------------------------------------------------------------------
+    # Vector engine (batched)
+    # ------------------------------------------------------------------
+    def _replay_vector(
+        self,
+        ctx: ProcessContext,
+        result: TraceResult,
+        ev_vpages: np.ndarray,
+        ev_writes: np.ndarray,
+        ev_plines: np.ndarray,
+        ev_homes: np.ndarray,
+        ev_mcs: np.ndarray,
+        compressed_hits: int,
+    ) -> None:
+        cfg = self.config
+        n_events = len(ev_plines)
+        rep = ctx.rep_core
+        l1 = self.l1_for(rep)
+        tlb = self.tlb_for(rep)
+
+        hop2 = 2 * (cfg.noc.hop_latency + cfg.noc.router_latency)
+        l2_lat = cfg.l2_slice.hit_latency
+        dram_lat = cfg.mem.dram_latency + cfg.mem.mc_service_latency
+        walk = cfg.tlb.miss_walk_latency
+
+        # TLB: only page-change events consult the TLB.
+        pchange = np.empty(n_events, dtype=bool)
+        pchange[0] = True
+        np.not_equal(ev_vpages[1:], ev_vpages[:-1], out=pchange[1:])
+        tlb_misses = tlb.access_batch(ev_vpages[pchange])
+
+        l1_snap = l1.stats.snapshot()
+        if self.backend == "native":
+            # The compiled kernel walks all events directly.
+            miss_pos = l1.kernel_filter_misses(ev_plines, ev_writes)
+            miss_idx_arr = np.asarray(miss_pos, dtype=np.intp)
+            sticky_hits = 0
+            kern_events = n_events
+        else:
+            # Sticky-hit compression: an event whose line equals the
+            # previous access to the same L1 set is a guaranteed hit and
+            # cannot change the set's LRU order (the line is already
+            # MRU); drop it from the kernel batch, OR-ing its write flag
+            # into the surviving base event so the final dirty state is
+            # identical.  Worth it only for the Python kernels, where
+            # each removed event saves real interpreter work.
+            sets_arr = ev_plines & l1._set_mask
+            order = np.argsort(sets_arr, kind="stable")
+            so_sets = sets_arr[order]
+            so_lines = ev_plines[order]
+            newgrp = np.empty(n_events, dtype=bool)
+            newgrp[0] = True
+            np.logical_or(
+                so_sets[1:] != so_sets[:-1], so_lines[1:] != so_lines[:-1],
+                out=newgrp[1:],
+            )
+            starts = np.flatnonzero(newgrp)
+            w_eff = np.maximum.reduceat(ev_writes[order], starts)
+            base_idx = order[starts]
+            srt = np.argsort(base_idx)
+            kern_idx = base_idx[srt]
+            sticky_hits = n_events - len(kern_idx)
+            kern_events = len(kern_idx)
+            miss_pos = l1.kernel_filter_misses(ev_plines[kern_idx], w_eff[srt])
+            l1.stats.hits += sticky_hits
+            miss_idx_arr = kern_idx[np.asarray(miss_pos, dtype=np.intp)]
+        l1_misses = len(miss_pos)
+        l1_hits = compressed_hits + sticky_hits + (kern_events - l1_misses)
+
+        l2_hits = 0
+        l2_misses = 0
+        mem_cycles = walk * tlb_misses
+        mc_requests: Dict[int, int] = {}
+        l2_snaps = {}
+
+        if l1_misses:
+            miss_idx = miss_idx_arr
+            lines_m = ev_plines[miss_idx]
+            homes_m = ev_homes[miss_idx]
+            writes_m = ev_writes[miss_idx]
+
+            # Segment the L1 miss stream by home slice; each slice's
+            # subsequence replays through that slice in trace order.
+            horder = np.argsort(homes_m, kind="stable")
+            hs = homes_m[horder]
+            seg = np.empty(l1_misses, dtype=bool)
+            seg[0] = True
+            np.not_equal(hs[1:], hs[:-1], out=seg[1:])
+            bounds = np.flatnonzero(seg).tolist()
+            bounds.append(l1_misses)
+            hit_sorted = np.empty(l1_misses, dtype=np.int8)
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                home = int(hs[a])
+                l2 = self.l2_slice(home)
+                l2_snaps[home] = l2.stats.snapshot()
+                part = horder[a:b]
+                hit_sorted[a:b] = l2.kernel_hit_flags(lines_m[part], writes_m[part])
+            l2_hit = np.empty(l1_misses, dtype=np.int8)
+            l2_hit[horder] = hit_sorted
+            hitmask = l2_hit.astype(bool)
+            l2_hits = int(hitmask.sum())
+            l2_misses = l1_misses - l2_hits
+
+            # Latency arithmetic, fully vectorized.  All terms are dyadic
+            # rationals (distances quantized to 1/64 hop), so the sums
+            # below are exact and match the scalar engine's fold bitwise.
+            d_core = np.asarray(self._avg_core_distances(tuple(ctx.cores)))
+            base_cost = hop2 * d_core[homes_m] + l2_lat
+
+            hit_cost = base_cost[hitmask]
+            if ctx.replication and l2_hits:
+                hit_lines = lines_m[hitmask]
+                uniq, first, inv = np.unique(
+                    hit_lines, return_index=True, return_inverse=True
+                )
+                replicated = ctx._replicated
+                already = np.fromiter(
+                    (int(line) in replicated for line in uniq),
+                    dtype=bool,
+                    count=len(uniq),
+                )
+                first_occ = np.zeros(l2_hits, dtype=bool)
+                first_occ[first] = True
+                pay_full = first_occ & ~already[inv]
+                hit_cost = np.where(pay_full, hit_cost, float(hop2 + l2_lat))
+                replicated.update(int(line) for line in uniq[~already])
+            mem_cycles += hit_cost.sum()
+
+            if l2_misses:
+                missmask = ~hitmask
+                mm_homes = homes_m[missmask]
+                mm_mcs = ev_mcs[miss_idx][missmask]
+                if ctx.numa_mc:
+                    dmc_leg = self.mesh.mc_distances.min(axis=1)[mm_homes]
+                else:
+                    dmc_leg = self.mesh.mc_distances[mm_homes, mm_mcs]
+                miss_cost = base_cost[missmask] + hop2 * dmc_leg + dram_lat
+                mem_cycles += miss_cost.sum()
+                mc_vals, mc_counts = np.unique(mm_mcs, return_counts=True)
+                mc_requests = {
+                    int(mc): int(cnt) for mc, cnt in zip(mc_vals, mc_counts)
+                }
+
+        result.l1_hits = l1_hits
+        result.l1_misses = l1_misses
+        result.l2_hits = l2_hits
+        result.l2_misses = l2_misses
+        result.tlb_misses = tlb_misses
+        result.mem_cycles = int(mem_cycles)
+        result.mc_requests = mc_requests
+        result.l1_writebacks = l1.stats.delta(l1_snap).writebacks
+        result.l2_writebacks = sum(
+            self._l2[t].stats.delta(snap).writebacks for t, snap in l2_snaps.items()
+        )
 
     def _avg_core_distances(self, cores: tuple) -> list:
-        """Per-slice hop count averaged over the given cores (cached)."""
+        """Per-slice hop count averaged over the given cores (cached).
+
+        Averages are quantized to 1/64 of a hop so that every latency
+        term is a dyadic rational: float64 then accumulates them exactly,
+        which keeps both replay engines bit-identical regardless of the
+        order their sums are folded in.
+        """
         cached = self._avg_dist_cache.get(cores)
         if cached is None:
             table = self.mesh.core_distances
-            cached = table[list(cores)].mean(axis=0).tolist()
+            avg = table[list(cores)].mean(axis=0)
+            cached = (np.round(avg * 64.0) / 64.0).tolist()
             self._avg_dist_cache[cores] = cached
         return cached
 
@@ -414,6 +702,11 @@ class MemoryHierarchy:
         Returns counters the purge cost model consumes: the maximum
         per-core valid/dirty line counts (cores purge in parallel) and
         the total dirty lines that must propagate to the L2 slices.
+
+        Purging a process's cores also wipes its replica bookkeeping:
+        the locally-replicated copies lived alongside the purged state,
+        so charging later re-accesses the one-hop replica latency would
+        credit residency that no longer exists.
         """
         max_valid = 0
         max_dirty = 0
@@ -427,6 +720,10 @@ class MemoryHierarchy:
                 total_dirty += dirty
             if core in self._tlb:
                 tlb_entries += self._tlb[core].invalidate_all()
+        purged = set(cores)
+        for ctx in self._replicating_contexts():
+            if not purged.isdisjoint(ctx.cores):
+                ctx._replicated.clear()
         return {
             "max_valid": max_valid,
             "max_dirty": max_dirty,

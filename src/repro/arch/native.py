@@ -1,0 +1,491 @@
+"""Optional compiled kernels for the vector replay engine.
+
+The batch replay engine's inner loops — LRU set-associative cache walks
+over per-set tag/dirty/age matrices — are branchy and sequential, which
+caps a pure-Python implementation at a few hundred nanoseconds per
+event.  When a C compiler is available this module builds (once, cached
+under ``.cache/native`` next to the repository sources) a small shared
+library with the two batch kernels and exposes :class:`NativeCache`,
+whose canonical state *is* the NumPy matrices:
+
+``tags``
+    ``(n_sets, assoc)`` int64, the resident line id per way (-1 empty).
+``dirty``
+    ``(n_sets, assoc)`` int8 modified flags.
+``age``
+    ``(n_sets, assoc)`` int64 recency stamps from a monotonically
+    increasing per-cache clock; the eviction victim is the valid way
+    with the smallest stamp, which is exactly the tail of the reference
+    implementation's MRU-first list.
+
+The kernels implement bit-for-bit the semantics of
+:class:`repro.arch.cache.SetAssocCache` (hit/miss, LRU victim choice,
+dirty propagation, eviction/writeback counting), so the equivalence
+suite holds regardless of which backend serviced a batch.
+
+Everything degrades gracefully: if no compiler is present or the build
+fails for any reason, :func:`native_available` returns False and the
+replay engine falls back to the pure-Python
+:class:`repro.arch.vector_cache.VectorCache` backend.  No third-party
+packages are involved — only ``ctypes`` and the system toolchain.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.cache import CacheStats, primed_lines_for_set
+from repro.config import CacheConfig
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+typedef int64_t i64;
+typedef int8_t  i8;
+
+/* LRU set-associative cache access over tag/dirty/age matrices.
+ * tags[set*assoc + way] == -1 marks an empty way.  On a hit the age is
+ * restamped; on a miss the first empty way (or the minimum-age victim)
+ * is (re)filled.  stats_out = {evictions, writebacks}.
+ *
+ * l1_filter: records the indices of missing events in miss_pos and
+ * returns how many there were.
+ * l2_flags:  records a 1/0 hit flag per event in flags and returns the
+ * number of hits. */
+
+static inline i64 do_access(i64 line, i8 w,
+                            i64 *tags, i8 *dirty, i64 *age,
+                            i64 *clock, i64 set_mask, i64 assoc,
+                            i64 *evictions, i64 *writebacks)
+{
+    i64 base = (line & set_mask) * assoc;
+    i64 hit_way = -1, empty_way = -1;
+    for (i64 j = 0; j < assoc; j++) {
+        i64 t = tags[base + j];
+        if (t == line) { hit_way = j; break; }
+        if (t == -1 && empty_way == -1) empty_way = j;
+    }
+    if (hit_way >= 0) {
+        age[base + hit_way] = ++(*clock);
+        dirty[base + hit_way] |= w;
+        return 1;
+    }
+    i64 slot = empty_way;
+    if (slot < 0) {
+        slot = 0;
+        i64 amin = age[base];
+        for (i64 j = 1; j < assoc; j++)
+            if (age[base + j] < amin) { amin = age[base + j]; slot = j; }
+        (*evictions)++;
+        if (dirty[base + slot]) (*writebacks)++;
+    }
+    tags[base + slot] = line;
+    dirty[base + slot] = w;
+    age[base + slot] = ++(*clock);
+    return 0;
+}
+
+i64 l1_filter(i64 n, const i64 *lines, const i8 *writes,
+              i64 *tags, i8 *dirty, i64 *age, i64 *clock_io,
+              i64 set_mask, i64 assoc,
+              i64 *miss_pos, i64 *stats_out)
+{
+    i64 clock = *clock_io, n_miss = 0, evictions = 0, writebacks = 0;
+    for (i64 k = 0; k < n; k++) {
+        if (!do_access(lines[k], writes[k], tags, dirty, age, &clock,
+                       set_mask, assoc, &evictions, &writebacks))
+            miss_pos[n_miss++] = k;
+    }
+    *clock_io = clock;
+    stats_out[0] = evictions;
+    stats_out[1] = writebacks;
+    return n_miss;
+}
+
+i64 l2_flags(i64 n, const i64 *lines, const i8 *writes,
+             i64 *tags, i8 *dirty, i64 *age, i64 *clock_io,
+             i64 set_mask, i64 assoc,
+             i8 *flags, i64 *stats_out)
+{
+    i64 clock = *clock_io, hits = 0, evictions = 0, writebacks = 0;
+    for (i64 k = 0; k < n; k++) {
+        i64 h = do_access(lines[k], writes[k], tags, dirty, age, &clock,
+                          set_mask, assoc, &evictions, &writebacks);
+        flags[k] = (i8)h;
+        hits += h;
+    }
+    *clock_io = clock;
+    stats_out[0] = evictions;
+    stats_out[1] = writebacks;
+    return hits;
+}
+
+/* Fully-associative LRU TLB over page-change events.  entries/age are
+ * capacity-sized arrays (-1 = empty).  Returns the number of misses. */
+i64 tlb_misses(i64 n, const i64 *pages,
+               i64 *entries, i64 *age, i64 *clock_io, i64 capacity)
+{
+    i64 clock = *clock_io, misses = 0;
+    for (i64 k = 0; k < n; k++) {
+        i64 page = pages[k];
+        i64 hit = -1, empty = -1;
+        for (i64 j = 0; j < capacity; j++) {
+            i64 t = entries[j];
+            if (t == page) { hit = j; break; }
+            if (t == -1 && empty == -1) empty = j;
+        }
+        if (hit >= 0) {
+            age[hit] = ++clock;
+            continue;
+        }
+        misses++;
+        i64 slot = empty;
+        if (slot < 0) {
+            slot = 0;
+            i64 amin = age[0];
+            for (i64 j = 1; j < capacity; j++)
+                if (age[j] < amin) { amin = age[j]; slot = j; }
+        }
+        entries[slot] = page;
+        age[slot] = ++clock;
+    }
+    *clock_io = clock;
+    return misses;
+}
+"""
+
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+def _build_dir() -> str:
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+    return os.path.join(root, ".cache", "native")
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    digest = hashlib.sha1(_C_SOURCE.encode()).hexdigest()[:16]
+    build_dir = _build_dir()
+    lib_path = os.path.join(build_dir, f"replaykernels_{digest}.so")
+    if not os.path.exists(lib_path):
+        os.makedirs(build_dir, exist_ok=True)
+        src_path = os.path.join(build_dir, f"replaykernels_{digest}.c")
+        with open(src_path, "w") as fh:
+            fh.write(_C_SOURCE)
+        fd, tmp = tempfile.mkstemp(dir=build_dir, suffix=".so")
+        os.close(fd)
+        try:
+            cmd = ["cc", "-O2", "-shared", "-fPIC", "-o", tmp, src_path]
+            subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+            os.replace(tmp, lib_path)  # atomic: parallel workers may race
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    lib = ctypes.CDLL(lib_path)
+    # All pointers are passed as raw addresses (ndarray.ctypes.data);
+    # c_void_p argtypes keep the per-call marshalling cost negligible.
+    ptr = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    for fn in (lib.l1_filter, lib.l2_flags):
+        fn.restype = i64
+        fn.argtypes = [i64, ptr, ptr, ptr, ptr, ptr, ptr, i64, i64, ptr, ptr]
+    lib.tlb_misses.restype = i64
+    lib.tlb_misses.argtypes = [i64, ptr, ptr, ptr, ptr, i64]
+    return lib
+
+
+def native_available() -> bool:
+    """True if the compiled kernels could be built and loaded."""
+    return load_native() is not None
+
+
+def load_native() -> Optional[ctypes.CDLL]:
+    """Build/load the kernel library; returns None when impossible."""
+    global _lib, _load_attempted
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    try:
+        _lib = _load()
+    except Exception:
+        _lib = None
+    return _lib
+
+
+class NativeCache:
+    """Matrix-backed LRU cache serviced by the compiled batch kernels.
+
+    API-compatible with :class:`repro.arch.cache.SetAssocCache` and
+    :class:`repro.arch.vector_cache.VectorCache`; see the module
+    docstring for the state layout.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "ncache"):
+        lib = load_native()
+        if lib is None:  # pragma: no cover - guarded by factory
+            raise RuntimeError("native kernels unavailable")
+        self._lib = lib
+        self.config = config
+        self.name = name
+        self.n_sets = config.n_sets
+        self.assoc = config.associativity
+        self._set_mask = self.n_sets - 1
+        self.tags = np.full(self.n_sets * self.assoc, -1, dtype=np.int64)
+        self.dirty = np.zeros(self.n_sets * self.assoc, dtype=np.int8)
+        self.age = np.zeros(self.n_sets * self.assoc, dtype=np.int64)
+        self._clock = np.zeros(1, dtype=np.int64)
+        self._stats_out = np.zeros(2, dtype=np.int64)
+        self.stats = CacheStats()
+        # The state buffers are never reallocated (fill() mutates in
+        # place), so their raw addresses can be cached once.
+        self._state_ptrs = (
+            self.tags.ctypes.data, self.dirty.ctypes.data,
+            self.age.ctypes.data, self._clock.ctypes.data,
+        )
+        self._stats_ptr = self._stats_out.ctypes.data
+        # Reusable single-event buffers for the scalar access() path.
+        self._one_line = np.zeros(1, dtype=np.int64)
+        self._one_write = np.zeros(1, dtype=np.int8)
+        self._one_out = np.zeros(1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Batch kernels
+    # ------------------------------------------------------------------
+    def kernel_filter_misses(self, lines: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Access a batch; returns the positions (into the batch) that missed."""
+        n = len(lines)
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=np.int8)
+        miss_pos = np.empty(n, dtype=np.int64)
+        n_miss = self._lib.l1_filter(
+            n, lines.ctypes.data, writes.ctypes.data,
+            *self._state_ptrs, self._set_mask, self.assoc,
+            miss_pos.ctypes.data, self._stats_ptr,
+        )
+        st = self.stats
+        st.hits += n - n_miss
+        st.misses += n_miss
+        st.evictions += int(self._stats_out[0])
+        st.writebacks += int(self._stats_out[1])
+        return miss_pos[:n_miss]
+
+    def kernel_hit_flags(self, lines: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Access a batch; returns a 1/0 hit flag per event."""
+        n = len(lines)
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=np.int8)
+        flags = np.empty(n, dtype=np.int8)
+        hits = self._lib.l2_flags(
+            n, lines.ctypes.data, writes.ctypes.data,
+            *self._state_ptrs, self._set_mask, self.assoc,
+            flags.ctypes.data, self._stats_ptr,
+        )
+        st = self.stats
+        st.hits += int(hits)
+        st.misses += n - int(hits)
+        st.evictions += int(self._stats_out[0])
+        st.writebacks += int(self._stats_out[1])
+        return flags
+
+    # ------------------------------------------------------------------
+    # SetAssocCache-compatible scalar API
+    # ------------------------------------------------------------------
+    def access(self, line_id: int, is_write: bool) -> bool:
+        self._one_line[0] = line_id
+        self._one_write[0] = 1 if is_write else 0
+        n_miss = self._lib.l1_filter(
+            1, self._one_line.ctypes.data, self._one_write.ctypes.data,
+            *self._state_ptrs, self._set_mask, self.assoc,
+            self._one_out.ctypes.data, self._stats_ptr,
+        )
+        st = self.stats
+        st.hits += 1 - n_miss
+        st.misses += n_miss
+        st.evictions += int(self._stats_out[0])
+        st.writebacks += int(self._stats_out[1])
+        return n_miss == 0
+
+    def touch_many(self, line_ids, writes) -> int:
+        lines = np.asarray(list(line_ids), dtype=np.int64)
+        w = np.asarray(list(writes), dtype=np.int8)
+        return len(self.kernel_filter_misses(lines, w))
+
+    def _row(self, set_index: int) -> slice:
+        base = set_index * self.assoc
+        return slice(base, base + self.assoc)
+
+    def contains(self, line_id: int) -> bool:
+        return bool((self.tags[self._row(line_id & self._set_mask)] == line_id).any())
+
+    def probe_latency_class(self, line_id: int) -> bool:
+        return self.contains(line_id)
+
+    @property
+    def valid_lines(self) -> int:
+        return int((self.tags != -1).sum())
+
+    @property
+    def dirty_lines(self) -> int:
+        return int((self.dirty != 0).sum())
+
+    def resident_lines(self) -> List[int]:
+        """All line ids currently cached, per set MRU-first."""
+        out: List[int] = []
+        for s in range(self.n_sets):
+            out.extend(tag for tag, _ in self.set_entries(s))
+        return out
+
+    def invalidate_all(self) -> Tuple[int, int]:
+        valid = self.valid_lines
+        dirty = self.dirty_lines
+        self.tags.fill(-1)
+        self.dirty.fill(0)
+        self.age.fill(0)
+        self.stats.invalidations += valid
+        self.stats.flushes += 1
+        self.stats.writebacks += dirty
+        return valid, dirty
+
+    def clean_all(self) -> int:
+        dirty = self.dirty_lines
+        self.dirty.fill(0)
+        self.stats.writebacks += dirty
+        return dirty
+
+    def evict_line(self, line_id: int) -> bool:
+        row = self._row(line_id & self._set_mask)
+        ways = np.nonzero(self.tags[row] == line_id)[0]
+        if not len(ways):
+            return False
+        way = (line_id & self._set_mask) * self.assoc + int(ways[0])
+        if self.dirty[way]:
+            self.stats.writebacks += 1
+        self.tags[way] = -1
+        self.dirty[way] = 0
+        self.age[way] = 0
+        self.stats.evictions += 1
+        return True
+
+    def fill_set(self, set_index: int, tag_base: int) -> List[int]:
+        primed = primed_lines_for_set(self.n_sets, self.assoc, set_index, tag_base)
+        for line_id in primed:
+            self.access(line_id, False)
+        return primed
+
+    # ------------------------------------------------------------------
+    # Matrix exports / equivalence helpers
+    # ------------------------------------------------------------------
+    def tag_matrix(self) -> np.ndarray:
+        return self.tags.reshape(self.n_sets, self.assoc).copy()
+
+    def dirty_matrix(self) -> np.ndarray:
+        return self.dirty.reshape(self.n_sets, self.assoc).astype(np.int64)
+
+    def age_matrix(self) -> np.ndarray:
+        return self.age.reshape(self.n_sets, self.assoc).copy()
+
+    def set_entries(self, set_index: int) -> List[List[int]]:
+        """Set contents as ``[tag, dirty]`` pairs, MRU-first."""
+        row = self._row(set_index)
+        tags = self.tags[row]
+        valid = np.nonzero(tags != -1)[0]
+        order = valid[np.argsort(-self.age[row][valid], kind="stable")]
+        base = set_index * self.assoc
+        return [
+            [int(self.tags[base + w]), int(self.dirty[base + w])] for w in order
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NativeCache({self.name}, {self.config.size_bytes}B, "
+            f"{self.assoc}-way, {self.valid_lines} valid)"
+        )
+
+
+class NativeTlb:
+    """Matrix-backed fully-associative LRU TLB (compiled kernel).
+
+    Mirrors :class:`repro.arch.tlb.Tlb` — same hit/miss behaviour, same
+    stats — with entry/age arrays instead of an OrderedDict so the batch
+    replay path can classify a whole page-change stream in one call.
+    """
+
+    def __init__(self, config, name: str = "ntlb"):
+        from repro.arch.tlb import TlbStats
+
+        lib = load_native()
+        if lib is None:  # pragma: no cover - guarded by factory
+            raise RuntimeError("native kernels unavailable")
+        self._lib = lib
+        self.config = config
+        self.name = name
+        self.entries = np.full(config.entries, -1, dtype=np.int64)
+        self.age = np.zeros(config.entries, dtype=np.int64)
+        self._clock = np.zeros(1, dtype=np.int64)
+        self._ptrs = (
+            self.entries.ctypes.data, self.age.ctypes.data,
+            self._clock.ctypes.data,
+        )
+        self._one = np.zeros(1, dtype=np.int64)
+        self.stats = TlbStats()
+
+    def access_batch(self, pages: np.ndarray) -> int:
+        """Look up a batch of pages; returns the number of misses."""
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        n = len(pages)
+        misses = self._lib.tlb_misses(
+            n, pages.ctypes.data, *self._ptrs, self.config.entries
+        )
+        self.stats.hits += n - misses
+        self.stats.misses += misses
+        return misses
+
+    def access(self, vpage: int) -> bool:
+        """Look up a virtual page; returns True on hit."""
+        self._one[0] = vpage
+        misses = self._lib.tlb_misses(
+            1, self._one.ctypes.data, *self._ptrs, self.config.entries
+        )
+        self.stats.hits += 1 - misses
+        self.stats.misses += misses
+        return misses == 0
+
+    def invalidate_all(self) -> int:
+        """Flush the TLB; returns the number of entries dropped."""
+        dropped = int((self.entries != -1).sum())
+        self.entries.fill(-1)
+        self.age.fill(0)
+        self.stats.flushes += 1
+        return dropped
+
+    def invalidate_page(self, vpage: int) -> bool:
+        """Drop one translation (page re-homing support)."""
+        idx = np.nonzero(self.entries == vpage)[0]
+        if not len(idx):
+            return False
+        self.entries[idx[0]] = -1
+        self.age[idx[0]] = 0
+        return True
+
+    def lru_entries(self) -> List[int]:
+        """Resident pages ordered least- to most-recently used."""
+        valid = np.nonzero(self.entries != -1)[0]
+        order = valid[np.argsort(self.age[valid], kind="stable")]
+        return [int(p) for p in self.entries[order]]
+
+    @property
+    def occupancy(self) -> int:
+        return int((self.entries != -1).sum())
+
+    def __contains__(self, vpage: int) -> bool:
+        return bool((self.entries == vpage).any())

@@ -10,7 +10,7 @@ ablations can build smaller machines cheaply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
 from repro.units import KB, MB, cycles_from_us
@@ -116,13 +116,25 @@ class CoreConfig:
     base_cpi: float = 0.8
 
 
+#: Valid values for :attr:`SystemConfig.replay_engine`.
+REPLAY_ENGINES = ("scalar", "vector")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
-    """Complete machine description."""
+    """Complete machine description.
+
+    ``replay_engine`` selects the trace-replay implementation used by
+    :class:`repro.arch.hierarchy.MemoryHierarchy`: ``"scalar"`` is the
+    original per-event reference loop, ``"vector"`` the batched engine
+    (see ``repro.arch.vector_cache``).  Both produce identical counters;
+    the scalar path is kept as the oracle for the equivalence suite.
+    """
 
     mesh_rows: int = 8
     mesh_cols: int = 8
     page_bytes: int = 4096
+    replay_engine: str = "scalar"
     l1: CacheConfig = field(default_factory=lambda: CacheConfig(32 * KB, 8, hit_latency=2))
     l2_slice: CacheConfig = field(default_factory=lambda: CacheConfig(256 * KB, 8, hit_latency=11))
     tlb: TlbConfig = field(default_factory=TlbConfig)
@@ -132,6 +144,11 @@ class SystemConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
 
     def __post_init__(self) -> None:
+        if self.replay_engine not in REPLAY_ENGINES:
+            raise ConfigError(
+                f"unknown replay engine {self.replay_engine!r}; "
+                f"expected one of {REPLAY_ENGINES}"
+            )
         if self.mesh_rows < 2 or self.mesh_cols < 2:
             raise ConfigError("mesh must be at least 2x2")
         if self.mem.n_regions % self.mem.n_controllers:
@@ -150,6 +167,10 @@ class SystemConfig:
     @property
     def regions_per_controller(self) -> int:
         return self.mem.n_regions // self.mem.n_controllers
+
+    def with_engine(self, engine: str) -> "SystemConfig":
+        """A copy of this configuration using the given replay engine."""
+        return replace(self, replay_engine=engine)
 
     @classmethod
     def tile_gx72(cls) -> "SystemConfig":

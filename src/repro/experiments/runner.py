@@ -1,17 +1,51 @@
-"""Shared experiment plumbing: run app x machine matrices."""
+"""Shared experiment plumbing: run app x machine matrices.
+
+Two scaling features sit on top of the per-pair :func:`run_one`:
+
+* **Result caching.**  Machine runs are deterministic given the app,
+  machine, system configuration, interaction counts and seed, so
+  :func:`run_matrix` memoizes completed runs in a process-wide cache
+  keyed by exactly those inputs.  Repeated figure/benchmark invocations
+  (fig6 then fig7 over the same matrix, or a re-run after editing one
+  experiment) only pay for pairs they have not seen before.  Cached
+  entries are returned as deep copies so callers can mutate results
+  freely.
+
+* **Parallel execution.**  ``jobs=N`` fans the (app, machine) pairs out
+  over a process pool.  Workers ship back their predictor-calibration
+  caches, which are merged into the caller's settings so subsequent
+  serial runs stay warm.  ``jobs=None``/``1`` keeps the serial path
+  (the default: the pairs are coarse enough that forking only pays off
+  on multi-core hosts).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.machines import build_machine
 from repro.sim.stats import RunResult
-from repro.workloads import APPS
+from repro.workloads import APPS, get_app
 from repro.workloads.base import AppSpec
 
 DEFAULT_MACHINES = ("insecure", "sgx", "mi6", "ironhide")
+
+# Completed runs keyed by (app, machine, config-hash, n_user, n_os, seed).
+_RESULT_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def clear_result_cache() -> None:
+    """Drop all memoized runs (tests and long-lived sessions)."""
+    _RESULT_CACHE.clear()
+
+
+def result_cache_size() -> int:
+    return len(_RESULT_CACHE)
 
 
 @dataclass
@@ -28,18 +62,43 @@ class ExperimentSettings:
     n_os: Optional[int] = None
     seed: int = 0
     calibration_cache: Dict = field(default_factory=dict)
+    # Default worker count for run_matrix (None/1 = serial).
+    jobs: Optional[int] = None
 
     def interactions_for(self, app: AppSpec) -> Optional[int]:
         return self.n_user if app.level == "user" else self.n_os
 
     def quickened(self, factor: int) -> "ExperimentSettings":
-        """A faster variant dividing default interaction counts."""
+        """A faster variant dividing the interaction counts by ``factor``.
+
+        Counts already set on this settings object are divided in place
+        of the app defaults — quickening a benchmark-scale settings
+        object must not silently restore full-length runs.
+        """
+        base_user = self.n_user
+        if base_user is None:
+            base_user = next(a.n_interactions for a in APPS if a.level == "user")
+        base_os = self.n_os
+        if base_os is None:
+            base_os = next(a.n_interactions for a in APPS if a.level == "os")
         return ExperimentSettings(
             config=self.config,
-            n_user=max(4, next(a.n_interactions for a in APPS if a.level == "user") // factor),
-            n_os=max(8, next(a.n_interactions for a in APPS if a.level == "os") // factor),
+            n_user=max(4, base_user // factor),
+            n_os=max(8, base_os // factor),
             seed=self.seed,
             calibration_cache=self.calibration_cache,
+            jobs=self.jobs,
+        )
+
+    def cache_key(self, app: AppSpec, machine_name: str) -> Tuple:
+        """Memoization key for one (app, machine) run under these knobs."""
+        config_hash = hashlib.sha1(repr(self.config).encode()).hexdigest()
+        return (
+            app.name,
+            machine_name,
+            config_hash,
+            self.interactions_for(app),
+            self.seed,
         )
 
 
@@ -55,16 +114,68 @@ def run_one(
     )
 
 
+def _run_pair_worker(args: Tuple[str, str, ExperimentSettings]):
+    """Process-pool entry point: run one pair, ship the result home.
+
+    Receives the app by name (AppSpec carries process factories that
+    are cheaper to rebuild than to pickle) and returns the worker's
+    calibration cache so the parent can keep later serial runs warm.
+    """
+    app_name, machine_name, settings = args
+    app = get_app(app_name)
+    result = run_one(app, machine_name, settings)
+    return app_name, machine_name, result, settings.calibration_cache
+
+
 def run_matrix(
     apps: Optional[Iterable[AppSpec]] = None,
     machines: Iterable[str] = DEFAULT_MACHINES,
     settings: Optional[ExperimentSettings] = None,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Dict[Tuple[str, str], RunResult]:
-    """Run every (app, machine) pair; returns results keyed by names."""
+    """Run every (app, machine) pair; returns results keyed by names.
+
+    ``jobs`` > 1 distributes the pairs over a process pool; ``cache``
+    reuses memoized results for pairs already run with identical
+    settings (see the module docstring).
+    """
     settings = settings or ExperimentSettings()
+    if jobs is None:
+        jobs = settings.jobs
     apps = list(apps) if apps is not None else list(APPS)
+    machines = tuple(machines)
     results: Dict[Tuple[str, str], RunResult] = {}
+
+    pending: List[Tuple[AppSpec, str]] = []
     for app in apps:
         for machine_name in machines:
+            key = settings.cache_key(app, machine_name)
+            if cache and key in _RESULT_CACHE:
+                results[(app.name, machine_name)] = copy.deepcopy(_RESULT_CACHE[key])
+            else:
+                pending.append((app, machine_name))
+
+    if pending and jobs and jobs > 1:
+        # Ship a pared-down settings object: the calibration cache can
+        # hold arbitrarily large calibration state and every worker
+        # rebuilds what it needs anyway.
+        worker_settings = replace(settings, calibration_cache={}, jobs=None)
+        tasks = [
+            (app.name, machine_name, worker_settings) for app, machine_name in pending
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for app_name, machine_name, result, calib in pool.map(
+                _run_pair_worker, tasks
+            ):
+                settings.calibration_cache.update(calib)
+                results[(app_name, machine_name)] = result
+    else:
+        for app, machine_name in pending:
             results[(app.name, machine_name)] = run_one(app, machine_name, settings)
+
+    if cache:
+        for app, machine_name in pending:
+            key = settings.cache_key(app, machine_name)
+            _RESULT_CACHE[key] = copy.deepcopy(results[(app.name, machine_name)])
     return results

@@ -158,7 +158,11 @@ class IronhideMachine(Machine):
     def _calibrations(
         self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess
     ) -> Tuple[ProcessCalibration, ProcessCalibration]:
-        key = (app.name, self.config.n_cores, self.config.l2_slice.size_bytes)
+        # The probes depend on the whole machine description (cache
+        # geometry, latencies, mesh shape), so key on all of it: a
+        # calibration carried over from a look-alike config would poison
+        # the runner's memoized results.
+        key = (app.name, repr(self.config))
         cached = self.calibration_cache.get(key)
         if cached is not None:
             return cached

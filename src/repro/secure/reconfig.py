@@ -123,18 +123,7 @@ class ReconfigEngine:
         evicted = hier.rehome_frames(rehome, ctx) if rehome else 0
         for vpage in migrate:
             old_frame = vm.page_table.pop(vpage)
-            self._drop_frame_lines(hier, old_frame)
+            hier.drop_frame_lines(old_frame)
             new_frame = vm.translate(vpage)
             hier.ensure_homed(np.asarray([new_frame]), ctx)
         return len(rehome), len(migrate), evicted
-
-    @staticmethod
-    def _drop_frame_lines(hier: MemoryHierarchy, frame: int) -> None:
-        home = int(hier.home_table[frame])
-        hier.home_table[frame] = -1
-        if home >= 0 and home in hier._l2:
-            lpp = hier.config.page_bytes // hier.config.line_bytes
-            cache = hier._l2[home]
-            base = frame * lpp
-            for line in range(base, base + lpp):
-                cache.evict_line(line)

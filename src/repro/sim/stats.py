@@ -73,6 +73,18 @@ class ProcessStats:
     def l2_miss_rate(self) -> float:
         return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
 
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "l1_misses": self.l1_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "tlb_misses": self.tlb_misses,
+            "compute_cycles": self.compute_cycles,
+            "cores": self.cores,
+        }
+
 
 @dataclass
 class RunResult:
@@ -119,3 +131,18 @@ class RunResult:
     def purge_share(self) -> float:
         total = self.completion_cycles
         return self.breakdown.purge / total if total else 0.0
+
+    def as_dict(self) -> Dict:
+        """Plain-data view of one run (JSON-friendly reporting/export)."""
+        return {
+            "machine": self.machine,
+            "app": self.app,
+            "interactions": self.interactions,
+            "breakdown": self.breakdown.as_dict(),
+            "secure": self.secure.as_dict(),
+            "insecure": self.insecure.as_dict(),
+            "secure_cores": self.secure_cores,
+            "insecure_cores": self.insecure_cores,
+            "predictor_evals": self.predictor_evals,
+            "completion_ms": self.completion_ms,
+        }

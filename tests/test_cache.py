@@ -190,3 +190,73 @@ class TestProperties:
         for line in unique:
             cache.access(line, False)
         assert all(cache.access(line, False) for line in unique)
+
+
+class TestFillSet:
+    """Prime+Probe priming must produce distinct, set-aligned lines
+    (regression for the precedence-reliant shift/double-mask version)."""
+
+    @pytest.mark.parametrize("size,assoc", [(1024, 2), (4096, 4), (16384, 8)])
+    def test_primed_lines_distinct_and_aligned(self, size, assoc):
+        cache = make_cache(size=size, assoc=assoc)
+        for set_index in (0, 1, cache.n_sets - 1):
+            primed = cache.fill_set(set_index, tag_base=7)
+            assert len(set(primed)) == cache.assoc
+            assert all(line & (cache.n_sets - 1) == set_index for line in primed)
+            assert all(cache.contains(line) for line in primed)
+
+    def test_fill_set_occupies_all_ways(self):
+        cache = make_cache(size=1024, assoc=2)
+        primed = cache.fill_set(3, tag_base=0)
+        assert len(cache._sets[3]) == cache.assoc
+        # A conflicting access now evicts the LRU primed line.
+        intruder = (1000 << (cache.n_sets - 1).bit_length()) | 3
+        cache.access(intruder, False)
+        assert not cache.contains(primed[0])
+        assert cache.contains(primed[1])
+
+    def test_primed_lines_agree_across_implementations(self):
+        from repro.arch.vector_cache import VectorCache
+
+        cfg = CacheConfig(4096, 4, 64)
+        a = SetAssocCache(cfg, "a")
+        b = VectorCache(cfg, "b")
+        assert a.fill_set(5, 11) == b.fill_set(5, 11)
+
+
+class TestVectorCacheParity:
+    """The dict-backed batch cache must mirror the reference model."""
+
+    def test_scalar_access_parity(self):
+        from repro.arch.vector_cache import VectorCache
+
+        cfg = CacheConfig(1024, 2, 64)
+        ref = SetAssocCache(cfg, "ref")
+        vec = VectorCache(cfg, "vec")
+        import random
+
+        rnd = random.Random(7)
+        for _ in range(2000):
+            line = rnd.randrange(64)
+            w = rnd.random() < 0.3
+            assert ref.access(line, w) == vec.access(line, w)
+        assert ref.stats == vec.stats
+        assert ref.dirty_lines == vec.dirty_lines
+        for s in range(ref.n_sets):
+            assert ref._sets[s] == vec.set_entries(s)
+
+    def test_maintenance_op_parity(self):
+        from repro.arch.vector_cache import VectorCache
+
+        cfg = CacheConfig(1024, 2, 64)
+        ref = SetAssocCache(cfg, "ref")
+        vec = VectorCache(cfg, "vec")
+        for line in range(20):
+            ref.access(line, line % 2 == 0)
+            vec.access(line, line % 2 == 0)
+        assert ref.clean_all() == vec.clean_all()
+        assert ref.evict_line(4) == vec.evict_line(4)
+        assert ref.evict_line(4) == vec.evict_line(4) is False
+        assert sorted(ref.resident_lines()) == sorted(vec.resident_lines())
+        assert ref.invalidate_all() == vec.invalidate_all()
+        assert ref.stats == vec.stats

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
+import repro.experiments.runner as runner_mod
 from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
 from repro.workloads import get_app
 
@@ -60,3 +61,105 @@ class TestCli:
     def test_requires_an_argument(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestQuickenedOverrides:
+    def test_quickened_divides_existing_overrides(self):
+        """Regression: quickening must scale counts already set on the
+        settings object instead of silently restoring app defaults."""
+        quick = ExperimentSettings(n_user=8, n_os=32).quickened(2)
+        assert quick.n_user == 4
+        assert quick.n_os == 16
+
+    def test_quickened_floors(self):
+        quick = ExperimentSettings(n_user=8, n_os=32).quickened(100)
+        assert quick.n_user == 4
+        assert quick.n_os == 8
+
+    def test_quickened_preserves_other_knobs(self):
+        base = ExperimentSettings(n_user=8, seed=3, jobs=2)
+        quick = base.quickened(2)
+        assert quick.seed == 3
+        assert quick.jobs == 2
+        assert quick.calibration_cache is base.calibration_cache
+
+
+class TestResultCache:
+    def setup_method(self):
+        runner_mod.clear_result_cache()
+
+    def teardown_method(self):
+        runner_mod.clear_result_cache()
+
+    def test_repeat_run_matrix_hits_cache(self, monkeypatch):
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        apps = [get_app("<AES, QUERY>")]
+        calls = []
+        real_run_one = runner_mod.run_one
+        monkeypatch.setattr(
+            runner_mod, "run_one",
+            lambda *a, **k: calls.append(a) or real_run_one(*a, **k),
+        )
+        first = run_matrix(apps, ("insecure", "sgx"), settings)
+        assert len(calls) == 2
+        second = run_matrix(apps, ("insecure", "sgx"), settings)
+        assert len(calls) == 2  # no recompute
+        assert first == second
+
+    def test_cached_results_are_isolated_copies(self):
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        apps = [get_app("<AES, QUERY>")]
+        first = run_matrix(apps, ("insecure",), settings)
+        first[("<AES, QUERY>", "insecure")].breakdown.compute = -1.0
+        second = run_matrix(apps, ("insecure",), settings)
+        assert second[("<AES, QUERY>", "insecure")].breakdown.compute != -1.0
+
+    def test_seed_and_count_changes_bypass_cache(self, monkeypatch):
+        apps = [get_app("<AES, QUERY>")]
+        calls = []
+        real_run_one = runner_mod.run_one
+        monkeypatch.setattr(
+            runner_mod, "run_one",
+            lambda *a, **k: calls.append(a) or real_run_one(*a, **k),
+        )
+        run_matrix(apps, ("insecure",), ExperimentSettings(n_user=2, seed=0))
+        run_matrix(apps, ("insecure",), ExperimentSettings(n_user=2, seed=1))
+        run_matrix(apps, ("insecure",), ExperimentSettings(n_user=3, seed=0))
+        assert len(calls) == 3
+
+    def test_cache_disabled(self, monkeypatch):
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        apps = [get_app("<AES, QUERY>")]
+        calls = []
+        real_run_one = runner_mod.run_one
+        monkeypatch.setattr(
+            runner_mod, "run_one",
+            lambda *a, **k: calls.append(a) or real_run_one(*a, **k),
+        )
+        run_matrix(apps, ("insecure",), settings, cache=False)
+        run_matrix(apps, ("insecure",), settings, cache=False)
+        assert len(calls) == 2
+
+
+class TestParallelRunMatrix:
+    def test_pool_matches_serial(self):
+        runner_mod.clear_result_cache()
+        apps = [get_app("<AES, QUERY>")]
+        machines = ("insecure", "sgx")
+        serial = run_matrix(
+            apps, machines, ExperimentSettings(n_user=2, n_os=4), cache=False
+        )
+        parallel = run_matrix(
+            apps, machines, ExperimentSettings(n_user=2, n_os=4),
+            jobs=2, cache=False,
+        )
+        assert serial == parallel
+
+    def test_pool_merges_calibration_caches(self):
+        runner_mod.clear_result_cache()
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        run_matrix(
+            [get_app("<AES, QUERY>")], ("ironhide",), settings,
+            jobs=2, cache=False,
+        )
+        assert len(settings.calibration_cache) == 1

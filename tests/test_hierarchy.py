@@ -187,6 +187,14 @@ class TestPurgeSupport:
 
 class TestPerformanceModelling:
     def test_replication_reduces_memory_cycles(self):
+        """Replica hits cost one hop once a line replicates locally.
+
+        The working set exceeds the L1 but fits the hash-homed L2, so
+        every pass after the first L1-misses into warm L2 slices: pass 2
+        installs replicas (full home-slice round trips), pass 3 hits
+        them at local latency.  Without replication pass 3 keeps paying
+        the full distance.
+        """
         config = SystemConfig.evaluation()
         results = {}
         for repl in (False, True):
@@ -197,12 +205,61 @@ class TestPerformanceModelling:
                 controllers=[0, 1], homing="hash", replication=repl,
             )
             trace = seq_trace(2000, stride=64)
-            hier.run_trace(ctx, trace)  # warm L2 (install)
-            hier.purge_private([0])
-            hier.run_trace(ctx, trace)  # first L2 re-hit populates replicas
-            hier.purge_private([0])
+            hier.run_trace(ctx, trace)  # install (L2 cold misses)
+            hier.run_trace(ctx, trace)  # L2 re-hits populate replicas
             results[repl] = hier.run_trace(ctx, trace).mem_cycles
         assert results[True] < results[False]
+
+    def test_purge_clears_replica_tracking(self):
+        """Purging a process's cores must forget its replicas: the
+        purged copies are gone, so the next round of L2 hits pays the
+        full home-slice distance again (regression for the stale
+        ``_replicated`` set)."""
+        config = SystemConfig.evaluation()
+        hier = MemoryHierarchy(config)
+        vm = VirtualMemory("p", hier.address_space, [0, 1])
+        ctx = ProcessContext(
+            "p", "secure", vm, cores=[0], slices=list(range(64)),
+            controllers=[0, 1], homing="hash", replication=True,
+        )
+        trace = seq_trace(600, stride=64)
+        hier.run_trace(ctx, trace)  # install
+        hier.purge_private([0])
+        hier.run_trace(ctx, trace)  # L2 hits -> replicas recorded
+        assert ctx._replicated
+        replica_cost = hier.run_trace(ctx, trace).mem_cycles
+        hier.purge_private([0])
+        assert ctx._replicated == set()
+        post_purge = hier.run_trace(ctx, trace).mem_cycles
+        # After the purge the same accesses pay full-distance L2 trips.
+        assert post_purge > replica_cost
+
+    def test_rehome_filters_replica_tracking(self):
+        """Re-homing a page evicts its lines everywhere, including any
+        replicas; only the moved page's lines are forgotten."""
+        config = SystemConfig.evaluation()
+        hier = MemoryHierarchy(config)
+        vm = VirtualMemory("p", hier.address_space, [0, 1])
+        ctx = ProcessContext(
+            "p", "secure", vm, cores=[0], slices=list(range(8)),
+            controllers=[0, 1], homing="hash", replication=True,
+        )
+        trace = seq_trace(512, stride=64)  # 8 pages, exceeds the L1
+        hier.run_trace(ctx, trace)
+        hier.run_trace(ctx, trace)  # replicate out of warm L2
+        assert ctx._replicated
+        frames = sorted(ctx.vm.page_table.values())
+        victim, survivor = frames[0], frames[1]
+        lpp = hier.config.page_bytes // hier.config.line_bytes
+        victim_lines = set(range(victim * lpp, (victim + 1) * lpp))
+        survivor_lines = set(range(survivor * lpp, (survivor + 1) * lpp))
+        assert ctx._replicated & victim_lines
+        kept_before = ctx._replicated & survivor_lines
+        ctx.slices = [5]
+        ctx._rr_next = 0
+        hier.rehome_frames([victim], ctx)
+        assert not (ctx._replicated & victim_lines)
+        assert ctx._replicated & survivor_lines == kept_before
 
     def test_numa_mc_reduces_dram_leg(self):
         config = SystemConfig.evaluation()

@@ -1,0 +1,205 @@
+"""Scalar-vs-vector replay engine equivalence suite.
+
+The vector engine (either backend: compiled kernels or pure Python) must
+produce **bit-identical** results to the scalar reference oracle — every
+:class:`TraceResult` counter including ``mem_cycles``, every cache's
+stats and resident lines (with LRU order and dirty flags), the TLB
+contents, and the replica-tracking sets — across random traces and the
+adversarial patterns that exercised historical bugs: write-heavy
+streams, purge-interleaved replay, page re-homing mid-stream, replicated
+hash-homed sharing and NUMA controller binding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.arch.native import native_available
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentSettings, run_one
+from repro.workloads import get_app
+
+pytestmark = pytest.mark.equivalence
+
+BACKENDS = ["python"] + (["native"] if native_available() else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    """Run each test against every available vector backend."""
+    if request.param == "python":
+        monkeypatch.setattr(
+            "repro.arch.hierarchy.native_available", lambda: False
+        )
+    return request.param
+
+
+def set_entries(cache, set_index):
+    """[tag, dirty] pairs MRU-first, whichever implementation."""
+    if hasattr(cache, "set_entries"):
+        return cache.set_entries(set_index)
+    return cache._sets[set_index]
+
+
+def tlb_entries(tlb):
+    if hasattr(tlb, "lru_entries"):
+        return tlb.lru_entries()
+    return [int(p) for p in tlb._entries]
+
+
+class EnginePair:
+    """A scalar and a vector hierarchy fed identical inputs."""
+
+    def __init__(self, config=None, regions=(0, 1), **ctx_kwargs):
+        config = config or SystemConfig.evaluation()
+        ctx_kwargs.setdefault("cores", list(range(6)))
+        ctx_kwargs.setdefault("slices", list(range(8)))
+        ctx_kwargs.setdefault("controllers", [0, 1])
+        self.sides = []
+        for engine in ("scalar", "vector"):
+            hier = MemoryHierarchy(config.with_engine(engine))
+            vm = VirtualMemory("p", hier.address_space, list(regions))
+            ctx = ProcessContext("p", "secure", vm, **ctx_kwargs)
+            self.sides.append((hier, ctx))
+
+    def run(self, addrs, writes=None):
+        (hs, cs), (hv, cv) = self.sides
+        rs = hs.run_trace(cs, addrs, writes)
+        rv = hv.run_trace(cv, addrs, writes)
+        assert rs == rv
+        return rs
+
+    def purge(self, cores=None):
+        (hs, cs), (hv, cv) = self.sides
+        cores = cores if cores is not None else [cs.rep_core]
+        assert hs.purge_private(cores) == hv.purge_private(cores)
+        assert hs.clean_l2(cs.slices) == hv.clean_l2(cv.slices)
+
+    def assert_same_state(self):
+        (hs, cs), (hv, cv) = self.sides
+        l1s, l1v = hs.l1_for(cs.rep_core), hv.l1_for(cv.rep_core)
+        assert l1s.stats == l1v.stats
+        for s in range(l1s.n_sets):
+            assert set_entries(l1s, s) == set_entries(l1v, s)
+        assert set(hs._l2) == set(hv._l2)
+        for tile in hs._l2:
+            a, b = hs._l2[tile], hv._l2[tile]
+            assert a.stats == b.stats
+            for s in range(a.n_sets):
+                assert set_entries(a, s) == set_entries(b, s)
+        assert tlb_entries(hs.tlb_for(cs.rep_core)) == tlb_entries(
+            hv.tlb_for(cv.rep_core)
+        )
+        assert (cs._replicated or set()) == (cv._replicated or set())
+
+
+def random_trace(rng, n, span=1 << 19, run_prob=0.5, write_frac=0.4):
+    addrs = rng.integers(0, span, size=n, dtype=np.int64)
+    reps = 1 + (rng.random(n) < run_prob).astype(np.int64)
+    addrs = np.repeat(addrs, reps)[:n]
+    writes = (rng.random(n) < write_frac).astype(np.int8)
+    return addrs, writes
+
+
+class TestTraceEquivalence:
+    def test_random_traces(self, backend, rng):
+        pair = EnginePair()
+        for _ in range(5):
+            addrs, writes = random_trace(rng, int(rng.integers(1, 4000)))
+            pair.run(addrs, writes)
+            pair.assert_same_state()
+
+    def test_write_heavy(self, backend, rng):
+        pair = EnginePair()
+        for _ in range(3):
+            addrs, writes = random_trace(rng, 3000, write_frac=0.95)
+            pair.run(addrs, writes)
+        pair.assert_same_state()
+
+    def test_purge_interleaved(self, backend, rng):
+        pair = EnginePair()
+        for i in range(6):
+            addrs, writes = random_trace(rng, 1500)
+            pair.run(addrs, writes)
+            if i % 2:
+                pair.purge()
+                pair.assert_same_state()
+        pair.assert_same_state()
+
+    def test_rehoming_interleaved(self, backend, rng):
+        pair = EnginePair()
+        for i in range(4):
+            addrs, writes = random_trace(rng, 1500, span=1 << 17)
+            pair.run(addrs, writes)
+            (hs, cs), (hv, cv) = pair.sides
+            frames = sorted(cs.vm.page_table.values())[: 2 + i]
+            for ctx in (cs, cv):
+                ctx.slices = list(reversed(ctx.slices))
+                ctx._rr_next = 0
+            assert hs.rehome_frames(frames, cs) == hv.rehome_frames(frames, cv)
+            pair.assert_same_state()
+
+    def test_replication_hash_homed(self, backend, rng):
+        pair = EnginePair(
+            homing="hash", replication=True, slices=list(range(16)),
+        )
+        for _ in range(4):
+            addrs, writes = random_trace(rng, 2500, span=1 << 17)
+            res = pair.run(addrs, writes)
+            pair.assert_same_state()
+        assert res.accesses == 2500
+
+    def test_numa_mc(self, backend, rng):
+        pair = EnginePair(numa_mc=True, homing="hash", slices=list(range(16)))
+        for _ in range(3):
+            addrs, writes = random_trace(rng, 2000)
+            pair.run(addrs, writes)
+        pair.assert_same_state()
+
+    def test_empty_and_single(self, backend):
+        pair = EnginePair()
+        res = pair.run(np.empty(0, dtype=np.int64))
+        assert res.accesses == 0
+        pair.run(np.asarray([4096], dtype=np.int64))
+        pair.assert_same_state()
+
+    def test_sticky_streams(self, backend):
+        """Interleaved same-line streams (the sticky-compression case)."""
+        a = np.asarray([0, 4096, 64, 0, 4096, 0, 4096, 128], dtype=np.int64)
+        addrs = np.tile(a, 300) + 64 * np.repeat(
+            np.arange(300, dtype=np.int64) % 7, len(a)
+        )
+        writes = (np.arange(len(addrs)) % 3 == 0).astype(np.int8)
+        pair = EnginePair()
+        pair.run(addrs, writes)
+        pair.assert_same_state()
+
+    def test_app_interaction_traces(self, backend, rng):
+        pair = EnginePair(slices=list(range(16)), regions=(0, 1, 2, 3))
+        for app_name in ("<AES, QUERY>", "<MEMCACHED, OS>"):
+            app = get_app(app_name)
+            sec, ins = app.processes()
+            for proc in (sec, ins):
+                for i in range(2):
+                    tr = proc.interaction_trace(rng, i)
+                    pair.run(tr.addrs, tr.writes)
+        pair.assert_same_state()
+
+
+class TestMachineEquivalence:
+    @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
+    def test_full_machine_runs_identical(self, backend, machine):
+        """End-to-end machine runs (purges, IPC, reconfiguration and
+        timing model included) must not depend on the engine."""
+        results = {}
+        for engine in ("scalar", "vector"):
+            settings = ExperimentSettings(
+                config=SystemConfig.evaluation().with_engine(engine),
+                n_user=3,
+                n_os=6,
+            )
+            results[engine] = run_one(get_app("<AES, QUERY>"), machine, settings)
+        assert results["scalar"] == results["vector"]

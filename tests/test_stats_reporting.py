@@ -77,3 +77,30 @@ class TestReporting:
     def test_normalize(self):
         values = {"a": 2.0, "b": 4.0}
         assert normalize(values, "a") == {"a": 1.0, "b": 2.0}
+
+
+class TestAsDictExports:
+    def test_process_stats_as_dict(self):
+        s = ProcessStats(name="q", accesses=100, l1_misses=25, cores=4)
+        d = s.as_dict()
+        assert d["name"] == "q"
+        assert d["accesses"] == 100
+        assert d["l1_misses"] == 25
+        assert d["cores"] == 4
+
+    def test_run_result_as_dict_is_json_serializable(self):
+        import json
+
+        r = RunResult(
+            machine="sgx", app="<AES, QUERY>", interactions=4,
+            breakdown=Breakdown(compute=10.0, crossing=2.0),
+            secure=ProcessStats(name="AES", accesses=50),
+            insecure=ProcessStats(name="QUERY", accesses=60),
+            secure_cores=8, insecure_cores=8,
+        )
+        d = r.as_dict()
+        round_tripped = json.loads(json.dumps(d))
+        assert round_tripped["machine"] == "sgx"
+        assert round_tripped["breakdown"]["compute"] == 10.0
+        assert round_tripped["secure"]["name"] == "AES"
+        assert round_tripped["completion_ms"] == pytest.approx(r.completion_ms)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Scalar-vs-vector replay throughput smoke benchmark.
+
+Replays the Figure 6 workload mix — every benchmark application's secure
+and insecure per-interaction traces, OS apps weighted heavier exactly as
+the experiment harness weighs them — through both replay engines on the
+evaluation machine, verifies the engines return identical counters, and
+reports events/second plus the vector/scalar speedup.
+
+Usage:
+    PYTHONPATH=src python tools/bench_replay.py [--user N] [--os N]
+                                                [--repeats K]
+
+Exit status is non-zero if the engines disagree on any counter, so the
+script doubles as a CI smoke check for the equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.arch.address import VirtualMemory
+from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+from repro.config import SystemConfig
+from repro.workloads import APPS
+
+
+def build_mix(n_user: int, n_os: int):
+    """One trace list per process, every app in the Fig. 6 matrix."""
+    rng = np.random.default_rng(0)
+    mix = []
+    for app in APPS:
+        n = n_user if app.level == "user" else n_os
+        sec, ins = app.processes()
+        for proc in (sec, ins):
+            mix.append(
+                (app.name, [proc.interaction_trace(rng, i) for i in range(n)])
+            )
+    return mix
+
+
+def count_events(traces) -> int:
+    """Line-change events (what the replay loop actually simulates)."""
+    events = 0
+    for tr in traces:
+        vlines = tr.addrs >> 6
+        if not len(vlines):
+            continue
+        events += 1 + int(np.count_nonzero(vlines[1:] != vlines[:-1]))
+    return events
+
+
+def replay_mix(engine: str, mix):
+    config = SystemConfig.evaluation().with_engine(engine)
+    hier = MemoryHierarchy(config)
+    vm = VirtualMemory("bench", hier.address_space, list(range(4)))
+    ctx = ProcessContext(
+        "bench", "secure", vm,
+        cores=list(range(8)), slices=list(range(16)), controllers=[0, 1],
+    )
+    results = []
+    start = time.perf_counter()
+    for _, traces in mix:
+        for tr in traces:
+            results.append(hier.run_trace(ctx, tr.addrs, tr.writes))
+    elapsed = time.perf_counter() - start
+    return hier, results, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--user", type=int, default=4,
+                        help="interactions per user-level app (default 4)")
+    parser.add_argument("--os", dest="n_os", type=int, default=12,
+                        help="interactions per OS-level app (default 12)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions; the best run is reported")
+    args = parser.parse_args(argv)
+
+    mix = build_mix(args.user, args.n_os)
+    accesses = sum(len(tr) for _, traces in mix for tr in traces)
+    events = sum(count_events(traces) for _, traces in mix)
+    print(f"Fig. 6 mix: {len(mix)} process streams, "
+          f"{accesses} accesses ({events} replay events)")
+
+    timings = {}
+    results = {}
+    backend = "?"
+    for engine in ("scalar", "vector"):
+        best = float("inf")
+        for _ in range(max(1, args.repeats)):
+            hier, res, elapsed = replay_mix(engine, mix)
+            best = min(best, elapsed)
+        timings[engine] = best
+        results[engine] = res
+        if engine == "vector":
+            backend = hier.backend
+        print(f"  {engine:7s} {accesses / best / 1e6:6.2f} M accesses/s "
+              f"({events / best / 1e6:5.2f} M events/s, {best * 1e3:6.1f} ms)"
+              + (f"  [backend: {hier.backend}]" if engine == "vector" else ""))
+
+    if results["scalar"] != results["vector"]:
+        bad = sum(a != b for a, b in zip(results["scalar"], results["vector"]))
+        print(f"ERROR: engines disagree on {bad} of {len(results['scalar'])} "
+              f"trace replays", file=sys.stderr)
+        return 1
+
+    speedup = timings["scalar"] / timings["vector"]
+    print(f"  speedup {speedup:.2f}x (vector/{backend} over scalar); "
+          f"counters identical across {len(results['scalar'])} replays")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
