@@ -20,13 +20,8 @@ from repro.experiments import (
     run_fig8,
     run_interactivity_table,
 )
-from repro.experiments.ablations import (
-    ablate_binding,
-    ablate_homing,
-    ablate_purge_anatomy,
-    ablate_replication,
-    ablate_routing,
-)
+from repro.experiments.ablations import run_all_ablations
+from repro.experiments.store import get_store
 
 EXPERIMENTS = {
     "fig1": lambda s: run_fig1a(s),
@@ -34,13 +29,7 @@ EXPERIMENTS = {
     "fig7": lambda s: run_fig7(s),
     "fig8": lambda s: run_fig8(s),
     "tables": lambda s: run_interactivity_table(s),
-    "ablations": lambda s: (
-        ablate_homing(),
-        ablate_routing(),
-        ablate_binding(s),
-        ablate_purge_anatomy(s),
-        ablate_replication(s),
-    ),
+    "ablations": lambda s: run_all_ablations(s),
 }
 
 
@@ -73,9 +62,24 @@ def main(argv=None) -> int:
         default=None,
         help="worker processes for experiment matrices (default: serial)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist completed runs here for cross-process reuse",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass result-store reads (fresh runs are still recorded)",
+    )
     args = parser.parse_args(argv)
 
-    settings = ExperimentSettings(seed=args.seed, jobs=args.jobs)
+    settings = ExperimentSettings(
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
     settings.config = settings.config.with_engine(args.engine)
     if args.quick:
         settings = settings.quickened(4)
@@ -85,6 +89,12 @@ def main(argv=None) -> int:
         start = time.time()
         EXPERIMENTS[name](settings)
         print(f"[{name}: {time.time() - start:.1f}s]")
+    if args.cache_dir:
+        stats = get_store(args.cache_dir).stats
+        print(
+            f"[store: {stats.hits} hits ({stats.disk_hits} from disk), "
+            f"{stats.misses} misses, {stats.writes} writes -> {args.cache_dir}]"
+        )
     return 0
 
 

@@ -10,6 +10,7 @@ ablations can build smaller machines cheaply.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
@@ -171,6 +172,17 @@ class SystemConfig:
     def with_engine(self, engine: str) -> "SystemConfig":
         """A copy of this configuration using the given replay engine."""
         return replace(self, replay_engine=engine)
+
+    def config_hash(self) -> str:
+        """Stable content digest of every machine parameter.
+
+        The experiment result store keys cached runs by this value, so
+        any change to the machine description — geometry, latencies,
+        protocol costs, replay engine — invalidates previously stored
+        results.  The digest is derived from the dataclass ``repr``,
+        which covers all nested configs field by field.
+        """
+        return hashlib.sha1(repr(self).encode()).hexdigest()
 
     @classmethod
     def tile_gx72(cls) -> "SystemConfig":

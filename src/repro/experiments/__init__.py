@@ -10,6 +10,8 @@ from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.runner import ExperimentSettings, run_matrix
+from repro.experiments.store import ResultStore, get_store
+from repro.experiments.sweep import WorkUnit, run_units
 from repro.experiments.tables import run_interactivity_table
 
 __all__ = [
@@ -20,4 +22,8 @@ __all__ = [
     "run_interactivity_table",
     "ExperimentSettings",
     "run_matrix",
+    "ResultStore",
+    "get_store",
+    "WorkUnit",
+    "run_units",
 ]

@@ -10,51 +10,55 @@
   and a tiny-footprint interaction;
 * replication: what disabling L2 replication (required for strong
   isolation) costs the baseline.
+
+Each ablation decomposes into work units (see
+:mod:`~repro.experiments.sweep`), so all five shard over the process
+pool and persist to the result store like the figure drivers; the
+measurement bodies live next to the other unit executors in
+``sweep.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.arch.address import VirtualMemory
-from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
-from repro.arch.mesh import MeshTopology
-from repro.arch.routing import path_contained, route_xy, route_yx
 from repro.config import SystemConfig
 from repro.experiments.reporting import geomean, print_table
-from repro.experiments.runner import ExperimentSettings, run_one
-from repro.secure.predictor import OptimalPredictor, StaticPredictor
-from repro.sim.stats import ProcessStats
-from repro.workloads import APPS, get_app
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.sweep import WorkUnit, pair_unit, predicted_unit, run_units
+
+HOMING_APP = "<PR, GRAPH>"
+REPLICATION_APP = "<AES, QUERY>"
+PURGE_APPS = ("<PR, GRAPH>", "<MEMCACHED, OS>")
+BINDING_APPS = ("<TC, GRAPH>", "<ALEXNET, VISION>", "<LIGHTTPD, OS>")
+
+
+def _settings_for(settings, config):
+    if isinstance(settings, SystemConfig):
+        # Legacy positional caller: ablate_homing(config) predates the
+        # settings-first signature.
+        return ExperimentSettings(config=settings)
+    if settings is not None:
+        return settings
+    if config is not None:
+        return ExperimentSettings(config=config)
+    return ExperimentSettings()
 
 
 def ablate_homing(
-    config: Optional[SystemConfig] = None, verbose: bool = True
+    settings: Optional[ExperimentSettings] = None,
+    verbose: bool = True,
+    config: Optional[SystemConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Average L2 round-trip NoC hops under each homing policy."""
-    config = config or SystemConfig.evaluation()
-    results: Dict[str, float] = {}
-    app = get_app("<PR, GRAPH>")
-    proc = app.make_secure()
-    rng = np.random.default_rng(1)
-    trace = proc.calibration_trace(rng, 2)
-    for policy, slices in (
-        ("local-cluster", list(range(24))),
-        ("hash-global", list(range(config.n_cores))),
-    ):
-        hier = MemoryHierarchy(config)
-        vm = VirtualMemory("p", hier.address_space, list(range(config.mem.n_regions)))
-        ctx = ProcessContext(
-            "p", "secure", vm, cores=list(range(24)), slices=slices,
-            controllers=list(range(config.mem.n_controllers)),
-            homing="local" if policy == "local-cluster" else "hash",
-            enforce=False,
-        )
-        res = hier.run_trace(ctx, trace.addrs, trace.writes)
-        results[policy] = res.mem_cycles / max(1, res.l1_misses)
+    settings = _settings_for(settings, config)
+    units = {
+        policy: WorkUnit("homing", app=HOMING_APP, variant=policy)
+        for policy in ("local-cluster", "hash-global")
+    }
+    payloads = run_units(units.values(), settings, jobs=jobs, copy_results=False)
+    results = {policy: payloads[unit] for policy, unit in units.items()}
     if verbose:
         print_table(
             "Ablation: homing policy (avg memory cycles per L1 miss)",
@@ -65,7 +69,11 @@ def ablate_homing(
 
 
 def ablate_routing(
-    rows: int = 8, cols: int = 8, verbose: bool = True
+    rows: int = 8,
+    cols: int = 8,
+    verbose: bool = True,
+    settings: Optional[ExperimentSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, int]:
     """Count cluster-escaping routes with and without Y-X support.
 
@@ -73,26 +81,9 @@ def ablate_routing(
     destination pairs whose X-Y path leaves the cluster; bidirectional
     routing must bring that count to zero.
     """
-    mesh = MeshTopology(rows, cols, 4)
-    n = rows * cols
-    xy_escapes = 0
-    bidi_escapes = 0
-    pairs = 0
-    for n_sec in range(1, n):
-        for cluster in (frozenset(range(n_sec)), frozenset(range(n_sec, n))):
-            members = sorted(cluster)
-            for a in members:
-                for b in members:
-                    if a == b:
-                        continue
-                    pairs += 1
-                    xy_ok = path_contained(route_xy(mesh, a, b), cluster)
-                    yx_ok = path_contained(route_yx(mesh, a, b), cluster)
-                    if not xy_ok:
-                        xy_escapes += 1
-                    if not (xy_ok or yx_ok):
-                        bidi_escapes += 1
-    results = {"pairs": pairs, "xy_only_escapes": xy_escapes, "bidirectional_escapes": bidi_escapes}
+    settings = settings or ExperimentSettings()
+    unit = WorkUnit("routing", params=(rows, cols))
+    results = run_units([unit], settings, jobs=jobs, copy_results=False)[unit]
     if verbose:
         print_table(
             "Ablation: deterministic routing containment (all split-row clusters)",
@@ -107,25 +98,29 @@ def ablate_binding(
     settings: Optional[ExperimentSettings] = None,
     apps: Optional[List[str]] = None,
     verbose: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Static 32/32 vs heuristic vs optimal cluster binding (geomean
     completion normalized to static)."""
     settings = settings or ExperimentSettings()
-    names = apps or ["<TC, GRAPH>", "<ALEXNET, VISION>", "<LIGHTTPD, OS>"]
-    chosen = [get_app(name) for name in names]
+    names = list(apps or BINDING_APPS)
+    half = settings.config.n_cores // 2
+    units = {}
+    for name in names:
+        units[(name, "static-32/32")] = predicted_unit(
+            name, f"static-{half}", ("static", half)
+        )
+        # The heuristic is the machine default: share the pair cache.
+        units[(name, "heuristic")] = pair_unit(name, "ironhide")
+        units[(name, "optimal")] = predicted_unit(name, "optimal", ("optimal",))
+    payloads = run_units(units.values(), settings, jobs=jobs, copy_results=False)
     ratios: Dict[str, List[float]] = {"static-32/32": [], "heuristic": [], "optimal": []}
-    for app in chosen:
-        static = run_one(
-            app, "ironhide", settings,
-            predictor=StaticPredictor(settings.config.n_cores // 2),
-        ).completion_cycles
-        heur = run_one(app, "ironhide", settings).completion_cycles
-        opt = run_one(
-            app, "ironhide", settings, predictor=OptimalPredictor()
-        ).completion_cycles
+    for name in names:
+        static = payloads[units[(name, "static-32/32")]].completion_cycles
         ratios["static-32/32"].append(1.0)
-        ratios["heuristic"].append(heur / static)
-        ratios["optimal"].append(opt / static)
+        for binding in ("heuristic", "optimal"):
+            cycles = payloads[units[(name, binding)]].completion_cycles
+            ratios[binding].append(cycles / static)
     results = {k: geomean(v) for k, v in ratios.items()}
     if verbose:
         print_table(
@@ -137,42 +132,15 @@ def ablate_binding(
 
 
 def ablate_purge_anatomy(
-    settings: Optional[ExperimentSettings] = None, verbose: bool = True
+    settings: Optional[ExperimentSettings] = None,
+    verbose: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Purge component costs for a user app vs an OS app under MI6."""
-    from repro.machines.mi6 import Mi6Machine
-
     settings = settings or ExperimentSettings()
-    out: Dict[str, Dict[str, float]] = {}
-    for name in ("<PR, GRAPH>", "<MEMCACHED, OS>"):
-        app = get_app(name)
-        machine = Mi6Machine(settings.config)
-        sec, ins = app.processes()
-        rng = np.random.default_rng(0)
-        st = machine._setup(app, sec, ins, rng)
-        for i in range(3):
-            machine._interaction(app, st, sec, ins, rng, i, False, st.breakdown,
-                                 ProcessStats(), ProcessStats())
-        # One more producer+consumer pass, then inspect a purge directly.
-        tr = ins.interaction_trace(rng, 10)
-        machine.hier.run_trace(st.ctx_insecure, tr.addrs, tr.writes)
-        tr = sec.interaction_trace(rng, 10)
-        machine.hier.run_trace(st.ctx_secure, tr.addrs, tr.writes)
-        report = machine.purge_model.purge(
-            machine.hier,
-            cores=[st.ctx_secure.rep_core, st.ctx_insecure.rep_core],
-            l2_slices=machine._plan.secure_slices + machine._plan.insecure_slices,
-            controllers=machine._plan.secure_mcs,
-            dirty_scale=app.footprint_scale,
-        )
-        out[name] = {
-            "dummy_read": report.dummy_read_cycles,
-            "tlb_flush": report.tlb_flush_cycles,
-            "l1_drain": report.l1_drain_cycles,
-            "mc_drain": report.mc_drain_cycles,
-            "pipeline": report.pipeline_flush_cycles,
-            "total": report.total_cycles,
-        }
+    units = {name: WorkUnit("purge_anatomy", app=name) for name in PURGE_APPS}
+    payloads = run_units(units.values(), settings, jobs=jobs, copy_results=False)
+    out = {name: payloads[unit] for name, unit in units.items()}
     if verbose:
         for name, comps in out.items():
             print_table(
@@ -185,26 +153,18 @@ def ablate_purge_anatomy(
 
 
 def ablate_replication(
-    settings: Optional[ExperimentSettings] = None, verbose: bool = True
+    settings: Optional[ExperimentSettings] = None,
+    verbose: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Baseline completion with L2 replication on vs off (<AES, QUERY>)."""
-    from repro.machines.insecure import InsecureMachine
-
     settings = settings or ExperimentSettings()
-    app = get_app("<AES, QUERY>")
-    results = {}
-    for label, enabled in (("replication-on", True), ("replication-off", False)):
-        machine = InsecureMachine(settings.config)
-        original = machine._make_context
-
-        def patched(*args, **kwargs):
-            kwargs["replication"] = enabled
-            return original(*args, **kwargs)
-
-        machine._make_context = patched
-        results[label] = machine.run(
-            app, n_interactions=settings.interactions_for(app), seed=settings.seed
-        ).completion_cycles
+    units = {
+        label: WorkUnit("replication", app=REPLICATION_APP, variant=label)
+        for label in ("replication-on", "replication-off")
+    }
+    payloads = run_units(units.values(), settings, jobs=jobs, copy_results=False)
+    results = {label: payloads[unit] for label, unit in units.items()}
     if verbose:
         print_table(
             "Ablation: L2 replication on the insecure baseline (<AES, QUERY>)",
@@ -213,3 +173,19 @@ def ablate_replication(
             precision=0,
         )
     return results
+
+
+def run_all_ablations(
+    settings: Optional[ExperimentSettings] = None,
+    verbose: bool = True,
+    jobs: Optional[int] = None,
+):
+    """Every ablation, in the order DESIGN.md discusses them."""
+    settings = settings or ExperimentSettings()
+    return (
+        ablate_homing(settings, verbose=verbose, jobs=jobs),
+        ablate_routing(verbose=verbose, settings=settings, jobs=jobs),
+        ablate_binding(settings, verbose=verbose, jobs=jobs),
+        ablate_purge_anatomy(settings, verbose=verbose, jobs=jobs),
+        ablate_replication(settings, verbose=verbose, jobs=jobs),
+    )

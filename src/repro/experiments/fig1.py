@@ -22,7 +22,7 @@ def run_fig1a(
 ) -> Dict[str, float]:
     """Returns {machine: normalized geomean completion time}."""
     settings = settings or ExperimentSettings()
-    results = run_matrix(APPS, DEFAULT_MACHINES, settings)
+    results = run_matrix(APPS, DEFAULT_MACHINES, settings, copy=False)
     normalized: Dict[str, float] = {}
     for machine in DEFAULT_MACHINES:
         ratios = [

@@ -59,7 +59,8 @@ def run_fig6(
     settings: Optional[ExperimentSettings] = None, verbose: bool = True
 ) -> Fig6Data:
     settings = settings or ExperimentSettings()
-    results = run_matrix(APPS, ("insecure",) + MACHINES, settings)
+    # Read-only reduction over the results: skip the defensive copies.
+    results = run_matrix(APPS, ("insecure",) + MACHINES, settings, copy=False)
     rows: List[Fig6Row] = []
     for app in APPS:
         base = results[(app.name, "insecure")].completion_cycles

@@ -56,7 +56,7 @@ def run_fig7(
     settings: Optional[ExperimentSettings] = None, verbose: bool = True
 ) -> Fig7Data:
     settings = settings or ExperimentSettings()
-    results = run_matrix(APPS, ("mi6", "ironhide"), settings)
+    results = run_matrix(APPS, ("mi6", "ironhide"), settings, copy=False)
     rows = [
         Fig7Row(
             app=app.name,

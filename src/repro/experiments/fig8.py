@@ -6,20 +6,21 @@ by: the gradient-based Heuristic (~2.1x better than MI6), an Optimal
 exhaustive search (~2.3x), and fixed ±x% decision variations (x in
 5..25: the secure cluster receives x% more or fewer cores than
 Optimal).  The Heuristic lands within the ±5% band of Optimal.
+
+The whole figure is expressed as one batch of work units — the MI6
+baselines plus every (variant, app) IRONHIDE run — so it shards over
+the process pool (``jobs=N``) and replays from a warm result store
+without a single machine run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.reporting import geomean, print_table
-from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
-from repro.secure.predictor import (
-    FixedVariationPredictor,
-    GradientHeuristicPredictor,
-    OptimalPredictor,
-)
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.sweep import WorkUnit, pair_unit, predicted_unit, run_units
 from repro.workloads import APPS
 
 VARIATION_PERCENTS = (5, 10, 15, 25)
@@ -41,44 +42,60 @@ class Fig8Data:
         return 100.0 / self.series["optimal"]
 
 
-def _variants(percents):
-    yield "heuristic", lambda: GradientHeuristicPredictor()
-    yield "optimal", lambda: OptimalPredictor()
+def _variant_units(percents) -> List[Tuple[str, WorkUnit]]:
+    """(variant label, work unit) for every IRONHIDE run in the figure.
+
+    The heuristic variant is the machine's default predictor, so it is
+    expressed as a plain ``pair`` unit and shares stored results with
+    the Figure 1/6 matrices.
+    """
+    units = []
+    specs = [("optimal", ("optimal",))]
     for pct in percents:
-        yield f"+{pct}%", lambda pct=pct: FixedVariationPredictor(pct)
-        yield f"-{pct}%", lambda pct=pct: FixedVariationPredictor(-pct)
+        specs.append((f"+{pct}%", ("fixed", pct)))
+        specs.append((f"-{pct}%", ("fixed", -pct)))
+    for app in APPS:
+        units.append(("heuristic", pair_unit(app.name, "ironhide")))
+        for variant, spec in specs:
+            units.append((variant, predicted_unit(app.name, variant, spec)))
+    return units
 
 
 def run_fig8(
     settings: Optional[ExperimentSettings] = None,
     verbose: bool = True,
     percents=VARIATION_PERCENTS,
+    jobs: Optional[int] = None,
 ) -> Fig8Data:
     settings = settings or ExperimentSettings()
-    mi6 = run_matrix(APPS, ("mi6",), settings)
+    variant_units = _variant_units(percents)
+    mi6_units = {app.name: pair_unit(app.name, "mi6") for app in APPS}
+    batch = list(mi6_units.values()) + [unit for _, unit in variant_units]
+    results = run_units(batch, settings, jobs=jobs, copy_results=False)
+
+    order = ["heuristic", "optimal"] + [
+        f"{s}{p}%" for p in percents for s in ("+", "-")
+    ]
     series: Dict[str, float] = {"mi6": 100.0}
     cores: Dict[str, Dict[str, int]] = {}
-    for variant, make_predictor in _variants(percents):
+    for variant in order:
         ratios = []
         cores[variant] = {}
-        for app in APPS:
-            result = run_one(
-                app, "ironhide", settings, predictor=make_predictor()
-            )
-            ratios.append(
-                result.completion_cycles / mi6[(app.name, "mi6")].completion_cycles
-            )
-            cores[variant][app.name] = result.secure_cores
+        for (label, unit) in variant_units:
+            if label != variant:
+                continue
+            result = results[unit]
+            mi6 = results[mi6_units[unit.app]]
+            ratios.append(result.completion_cycles / mi6.completion_cycles)
+            cores[variant][unit.app] = result.secure_cores
         series[variant] = 100.0 * geomean(ratios)
+
     data = Fig8Data(series, cores)
     if verbose:
-        order = ["mi6", "heuristic", "optimal"] + [
-            f"{s}{p}%" for p in percents for s in ("+", "-")
-        ]
         print_table(
             "Figure 8: geomean completion vs MI6=100 (lower is better)",
             ["variant", "completion"],
-            [[v, series[v]] for v in order if v in series],
+            [[v, series[v]] for v in ["mi6"] + order if v in series],
             precision=1,
         )
         print(

@@ -1,0 +1,78 @@
+"""Golden-number collection for the regression suite.
+
+``tests/test_golden_figures.py`` freezes the per-(app, machine)
+speedup/latency numbers of Figures 1, 6 and 7 — as produced by the
+CLI's ``--quick`` settings — into checked-in JSON and asserts
+**bit-exact** equality on every run, on both replay engines.  This
+module is the single source of truth for what gets frozen;
+``tools/update_goldens.py`` reuses it to refresh the files after an
+intentional model change (bump :data:`~repro.experiments.store.
+MODEL_VERSION` at the same time).
+
+Bit-exactness is achievable because the whole pipeline is
+deterministic: seeded trace generation, exact counter arithmetic in
+both engines (cycle costs quantized to dyadic rationals), and JSON
+round-tripping doubles through their shortest ``repr``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.fig1 import run_fig1a
+from repro.experiments.fig6 import MACHINES as FIG6_MACHINES
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.store import MODEL_VERSION
+
+#: The ``--quick`` reduction factor the CLI applies (``main --quick``).
+QUICK_FACTOR = 4
+
+
+def quick_settings(engine: str = "scalar") -> ExperimentSettings:
+    """The exact settings ``python -m repro <fig> --quick`` runs with."""
+    settings = ExperimentSettings()
+    settings.config = settings.config.with_engine(engine)
+    return settings.quickened(QUICK_FACTOR)
+
+
+def collect_golden_numbers(
+    engine: str = "scalar", settings: Optional[ExperimentSettings] = None
+) -> Dict:
+    """Every frozen number, as one JSON-ready dict."""
+    settings = settings or quick_settings(engine)
+    fig1 = run_fig1a(settings, verbose=False)
+    fig6 = run_fig6(settings, verbose=False)
+    fig7 = run_fig7(settings, verbose=False)
+    return {
+        "model": MODEL_VERSION,
+        "settings": {
+            "n_user": settings.n_user,
+            "n_os": settings.n_os,
+            "seed": settings.seed,
+        },
+        "fig1": {machine: float(v) for machine, v in fig1.items()},
+        "fig6": {
+            row.app: {
+                "level": row.level,
+                "secure_cores": int(row.secure_cores),
+                "completion_ms": {m: float(row.completion_ms[m]) for m in FIG6_MACHINES},
+                "normalized": {m: float(row.normalized[m]) for m in FIG6_MACHINES},
+            }
+            for row in fig6.rows
+        },
+        "fig6_geomeans": {
+            level: {m: float(v) for m, v in by_machine.items()}
+            for level, by_machine in fig6.geomeans.items()
+        },
+        "fig7": {
+            row.app: {
+                "l1_mi6": float(row.l1_mi6),
+                "l1_ironhide": float(row.l1_ironhide),
+                "l2_mi6": float(row.l2_mi6),
+                "l2_ironhide": float(row.l2_ironhide),
+            }
+            for row in fig7.rows
+        },
+    }

@@ -47,3 +47,8 @@ def normalize(values: dict, base_key: str) -> dict:
     """Divide every value by the base entry's value."""
     base = values[base_key]
     return {k: v / base for k, v in values.items()}
+
+
+def print_stats(title: str, stats: dict) -> None:
+    """One-line ``key=value`` summary (store hit/miss reporting)."""
+    print(f"{title}: " + "  ".join(f"{k}={v}" for k, v in stats.items()))

@@ -1,15 +1,16 @@
 """Shared experiment plumbing: run app x machine matrices.
 
-Two scaling features sit on top of the per-pair :func:`run_one`:
+Three scaling features sit on top of the per-pair :func:`run_one`:
 
 * **Result caching.**  Machine runs are deterministic given the app,
   machine, system configuration, interaction counts and seed, so
-  :func:`run_matrix` memoizes completed runs in a process-wide cache
-  keyed by exactly those inputs.  Repeated figure/benchmark invocations
-  (fig6 then fig7 over the same matrix, or a re-run after editing one
-  experiment) only pay for pairs they have not seen before.  Cached
-  entries are returned as deep copies so callers can mutate results
-  freely.
+  :func:`run_matrix` memoizes completed runs in a
+  :class:`~repro.experiments.store.ResultStore` keyed by exactly those
+  inputs.  The store keeps an in-process memory layer and, when
+  ``settings.cache_dir`` is set, persists results as content-addressed
+  JSON files shared across processes and invocations.
+  ``settings.no_cache`` bypasses reads (forcing recomputation) but
+  still writes completed runs back.
 
 * **Parallel execution.**  ``jobs=N`` fans the (app, machine) pairs out
   over a process pool.  Workers ship back their predictor-calibration
@@ -17,35 +18,41 @@ Two scaling features sit on top of the per-pair :func:`run_one`:
   serial runs stay warm.  ``jobs=None``/``1`` keeps the serial path
   (the default: the pairs are coarse enough that forking only pays off
   on multi-core hosts).
+
+* **Work units.**  The matrix is decomposed into
+  :class:`~repro.experiments.sweep.WorkUnit`\\ s and driven through
+  :func:`~repro.experiments.sweep.run_units`, the same sharded
+  scheduler the figure drivers and ablations use — so a ``fig6`` run
+  warms the store for ``fig1``, ``fig7`` and ``fig8``'s baselines.
 """
 
 from __future__ import annotations
 
-import copy
-import hashlib
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import SystemConfig
+from repro.experiments import store as store_mod
 from repro.machines import build_machine
 from repro.sim.stats import RunResult
-from repro.workloads import APPS, get_app
+from repro.workloads import APPS
 from repro.workloads.base import AppSpec
 
 DEFAULT_MACHINES = ("insecure", "sgx", "mi6", "ironhide")
 
-# Completed runs keyed by (app, machine, config-hash, n_user, n_os, seed).
-_RESULT_CACHE: Dict[Tuple, RunResult] = {}
-
 
 def clear_result_cache() -> None:
-    """Drop all memoized runs (tests and long-lived sessions)."""
-    _RESULT_CACHE.clear()
+    """Drop all in-memory memoized runs (tests and long-lived sessions).
+
+    Disk-persisted entries survive; delete the cache directory to drop
+    those too.
+    """
+    store_mod.clear_memory_caches()
 
 
 def result_cache_size() -> int:
-    return len(_RESULT_CACHE)
+    """Entries in the default (memory-only) store."""
+    return len(store_mod.get_store(None))
 
 
 @dataclass
@@ -54,7 +61,9 @@ class ExperimentSettings:
 
     ``n_user`` / ``n_os`` override the per-app interaction counts so
     benchmarks can trade precision for runtime; ``None`` keeps each
-    app's default.
+    app's default.  ``cache_dir`` persists completed runs to disk for
+    cross-process reuse; ``no_cache`` bypasses cache *reads* while
+    still recording fresh results.
     """
 
     config: SystemConfig = field(default_factory=SystemConfig.evaluation)
@@ -62,8 +71,12 @@ class ExperimentSettings:
     n_os: Optional[int] = None
     seed: int = 0
     calibration_cache: Dict = field(default_factory=dict)
-    # Default worker count for run_matrix (None/1 = serial).
+    # Default worker count for run_matrix / run_units (None/1 = serial).
     jobs: Optional[int] = None
+    # Disk persistence for the result store (None = memory only).
+    cache_dir: Optional[str] = None
+    # Bypass store reads (still writes completed runs back).
+    no_cache: bool = False
 
     def interactions_for(self, app: AppSpec) -> Optional[int]:
         return self.n_user if app.level == "user" else self.n_os
@@ -88,18 +101,20 @@ class ExperimentSettings:
             seed=self.seed,
             calibration_cache=self.calibration_cache,
             jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            no_cache=self.no_cache,
         )
 
     def cache_key(self, app: AppSpec, machine_name: str) -> Tuple:
-        """Memoization key for one (app, machine) run under these knobs."""
-        config_hash = hashlib.sha1(repr(self.config).encode()).hexdigest()
-        return (
-            app.name,
-            machine_name,
-            config_hash,
-            self.interactions_for(app),
-            self.seed,
-        )
+        """Memoization key for one (app, machine) run under these knobs.
+
+        Matches the key :func:`~repro.experiments.sweep.unit_cache_key`
+        derives for the equivalent ``pair`` work unit, so direct callers
+        and the sweep scheduler share stored results.
+        """
+        from repro.experiments.sweep import pair_unit, unit_cache_key
+
+        return unit_cache_key(pair_unit(app.name, machine_name), self)
 
 
 def run_one(
@@ -114,68 +129,35 @@ def run_one(
     )
 
 
-def _run_pair_worker(args: Tuple[str, str, ExperimentSettings]):
-    """Process-pool entry point: run one pair, ship the result home.
-
-    Receives the app by name (AppSpec carries process factories that
-    are cheaper to rebuild than to pickle) and returns the worker's
-    calibration cache so the parent can keep later serial runs warm.
-    """
-    app_name, machine_name, settings = args
-    app = get_app(app_name)
-    result = run_one(app, machine_name, settings)
-    return app_name, machine_name, result, settings.calibration_cache
-
-
 def run_matrix(
     apps: Optional[Iterable[AppSpec]] = None,
     machines: Iterable[str] = DEFAULT_MACHINES,
     settings: Optional[ExperimentSettings] = None,
     jobs: Optional[int] = None,
     cache: bool = True,
+    copy: bool = True,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (app, machine) pair; returns results keyed by names.
 
-    ``jobs`` > 1 distributes the pairs over a process pool; ``cache``
-    reuses memoized results for pairs already run with identical
-    settings (see the module docstring).
+    ``jobs`` > 1 distributes the pairs over a process pool.
+    ``cache=False`` (like ``settings.no_cache``) bypasses store
+    *reads*, forcing recomputation; completed runs are still written
+    back so later cached callers benefit.  ``copy=False`` skips the
+    defensive deep copy of store hits — for read-only callers like the
+    figure drivers, which immediately reduce the results without
+    mutating them.
     """
+    from repro.experiments.sweep import pair_unit, run_units
+
     settings = settings or ExperimentSettings()
-    if jobs is None:
-        jobs = settings.jobs
     apps = list(apps) if apps is not None else list(APPS)
     machines = tuple(machines)
-    results: Dict[Tuple[str, str], RunResult] = {}
-
-    pending: List[Tuple[AppSpec, str]] = []
-    for app in apps:
-        for machine_name in machines:
-            key = settings.cache_key(app, machine_name)
-            if cache and key in _RESULT_CACHE:
-                results[(app.name, machine_name)] = copy.deepcopy(_RESULT_CACHE[key])
-            else:
-                pending.append((app, machine_name))
-
-    if pending and jobs and jobs > 1:
-        # Ship a pared-down settings object: the calibration cache can
-        # hold arbitrarily large calibration state and every worker
-        # rebuilds what it needs anyway.
-        worker_settings = replace(settings, calibration_cache={}, jobs=None)
-        tasks = [
-            (app.name, machine_name, worker_settings) for app, machine_name in pending
-        ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for app_name, machine_name, result, calib in pool.map(
-                _run_pair_worker, tasks
-            ):
-                settings.calibration_cache.update(calib)
-                results[(app_name, machine_name)] = result
-    else:
-        for app, machine_name in pending:
-            results[(app.name, machine_name)] = run_one(app, machine_name, settings)
-
-    if cache:
-        for app, machine_name in pending:
-            key = settings.cache_key(app, machine_name)
-            _RESULT_CACHE[key] = copy.deepcopy(results[(app.name, machine_name)])
-    return results
+    units = [
+        pair_unit(app.name, machine_name)
+        for app in apps
+        for machine_name in machines
+    ]
+    payloads = run_units(
+        units, settings, jobs=jobs, cache=cache, copy_results=copy
+    )
+    return {(unit.app, unit.machine): payloads[unit] for unit in units}

@@ -1,0 +1,269 @@
+"""Content-addressed, disk-persisted experiment result store.
+
+Machine runs are deterministic given the app, machine, system
+configuration, interaction counts and seed, so completed runs can be
+memoized and shared — not just within one process (the old
+``_RESULT_CACHE`` dict) but across processes and invocations via a
+cache directory:
+
+* **Keys** are plain tuples of strings/numbers (built by the sweep
+  scheduler from the work unit plus the :meth:`SystemConfig.config_hash`
+  digest, interaction counts and seed).  Each key is canonically
+  JSON-encoded and SHA-256 hashed; the digest names the cache file, so
+  the store is content-addressed and needs no index.
+* **Values** are either :class:`~repro.sim.stats.RunResult` objects or
+  plain JSON data (ablation summaries).  Both are serialized to JSON;
+  floats survive bit-exactly because JSON round-trips the shortest
+  ``repr`` of a double.
+* **Validation.**  Every file carries ``schema`` (the serialization
+  layout version) and ``model`` (the performance-model fingerprint,
+  bumped on intentional model changes) plus the encoded key.  Any
+  mismatch — including a hash collision or a torn/corrupted file — is
+  treated as a miss and the result is recomputed.
+* **Concurrency.**  Writes go to a unique temporary file in the cache
+  directory and are published with an atomic ``os.replace``, so two
+  pool workers racing on the same key leave exactly one valid file.
+
+A memory layer fronts the disk: in-process repeat lookups never touch
+the filesystem, and a disk hit is promoted into memory.  Stores are
+interned per cache directory via :func:`get_store` so every caller in a
+process shares one memory layer per directory.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.sim.stats import Breakdown, ProcessStats, RunResult
+
+#: Bump when the on-disk payload layout changes.
+SCHEMA_VERSION = 1
+
+#: Fingerprint of the performance model.  Bump on any intentional change
+#: to the timing/cache model that alters results, then refresh the
+#: golden numbers (``tools/update_goldens.py``); stored results written
+#: under the old fingerprint are invalidated automatically.
+MODEL_VERSION = "ironhide-model-2"
+
+_MISS = object()
+
+
+def key_digest(key: Tuple) -> str:
+    """Canonical content digest of a cache key tuple."""
+    encoded = json.dumps(_encode_key(key), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def _encode_key(key):
+    """Key tuples -> JSON-stable nested lists."""
+    if isinstance(key, (tuple, list)):
+        return [_encode_key(k) for k in key]
+    if key is None or isinstance(key, (str, bool, int, float)):
+        return key
+    raise TypeError(f"unsupported key component {key!r}")
+
+
+def _json_default(obj):
+    """Tolerate NumPy scalars that leak into counters (value-exact)."""
+    for attr in ("item",):
+        if hasattr(obj, attr):
+            return obj.item()
+    raise TypeError(f"not JSON-serializable: {obj!r}")
+
+
+def _result_to_payload(result: RunResult) -> Dict:
+    return {
+        "machine": result.machine,
+        "app": result.app,
+        "interactions": result.interactions,
+        "breakdown": result.breakdown.as_dict(),
+        "secure": result.secure.as_dict(),
+        "insecure": result.insecure.as_dict(),
+        "secure_cores": result.secure_cores,
+        "insecure_cores": result.insecure_cores,
+        "predictor_evals": result.predictor_evals,
+    }
+
+
+def _result_from_payload(data: Dict) -> RunResult:
+    return RunResult(
+        machine=data["machine"],
+        app=data["app"],
+        interactions=data["interactions"],
+        breakdown=Breakdown(**data["breakdown"]),
+        secure=ProcessStats(**data["secure"]),
+        insecure=ProcessStats(**data["insecure"]),
+        secure_cores=data["secure_cores"],
+        insecure_cores=data["insecure_cores"],
+        predictor_evals=data["predictor_evals"],
+    )
+
+
+def encode_value(value) -> Dict:
+    """Tag a stored value so loads can rebuild the right type."""
+    if isinstance(value, RunResult):
+        return {"kind": "run_result", "data": _result_to_payload(value)}
+    return {"kind": "data", "data": value}
+
+
+def decode_value(encoded: Dict):
+    if encoded["kind"] == "run_result":
+        return _result_from_payload(encoded["data"])
+    return encoded["data"]
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store (reported by tools/CLI)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalid: int = 0  # schema/model/key mismatches and corrupt files
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }
+
+
+class ResultStore:
+    """Two-layer (memory over optional disk) memoization of runs."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
+        self._memory: Dict[Tuple, object] = {}
+        self.stats = StoreStats()
+
+    # -- lookup ------------------------------------------------------
+
+    def get(self, key: Tuple, *, copy_result: bool = True):
+        """Stored value for ``key`` or ``None``.
+
+        ``copy_result=False`` returns the stored object itself — valid
+        only for read-only callers (figure drivers that never mutate
+        results); mutating it would poison every later hit.
+        """
+        value = self._memory.get(key, _MISS)
+        if value is _MISS and self.cache_dir is not None:
+            value = self._load(key)
+            if value is not _MISS:
+                self._memory[key] = value
+                self.stats.disk_hits += 1
+        elif value is not _MISS:
+            self.stats.memory_hits += 1
+        if value is _MISS:
+            self.stats.misses += 1
+            return None
+        return copy.deepcopy(value) if copy_result else value
+
+    def _load(self, key: Tuple):
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            if path.exists():
+                self.stats.invalid += 1
+            return _MISS
+        try:
+            if payload["schema"] != SCHEMA_VERSION:
+                raise ValueError("schema version mismatch")
+            if payload["model"] != MODEL_VERSION:
+                raise ValueError("model fingerprint mismatch")
+            if payload["key"] != _encode_key(key):
+                raise ValueError("key mismatch (collision or tampering)")
+            return decode_value(payload["value"])
+        except (KeyError, TypeError, ValueError):
+            self.stats.invalid += 1
+            return _MISS
+
+    # -- store -------------------------------------------------------
+
+    def put(self, key: Tuple, value) -> None:
+        """Memoize ``value``; persist it when a cache dir is configured.
+
+        The store keeps its own deep copy so later caller-side mutation
+        cannot corrupt cached entries.
+        """
+        self._memory[key] = copy.deepcopy(value)
+        self.stats.writes += 1
+        if self.cache_dir is None:
+            return
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "model": MODEL_VERSION,
+            "key": _encode_key(key),
+            "value": encode_value(value),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, default=_json_default)
+            os.replace(tmp, path)  # atomic publish: racers leave one valid file
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance -------------------------------------------------
+
+    def path_for(self, key: Tuple) -> Path:
+        """Cache file for ``key`` (two-level fan-out by digest prefix)."""
+        if self.cache_dir is None:
+            raise ValueError("store has no cache directory")
+        digest = key_digest(key)
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries survive)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# One store per cache directory per process, so every experiment driver
+# shares a memory layer (and a stats counter) per directory.
+_STORES: Dict[Optional[str], ResultStore] = {}
+
+
+def get_store(cache_dir: Optional[os.PathLike] = None) -> ResultStore:
+    ident = str(Path(cache_dir).expanduser().resolve()) if cache_dir else None
+    store = _STORES.get(ident)
+    if store is None:
+        store = _STORES[ident] = ResultStore(cache_dir)
+    return store
+
+
+def clear_memory_caches() -> None:
+    """Drop every store's memory layer (tests, long-lived sessions)."""
+    for store in _STORES.values():
+        store.clear_memory()
+
+
+def reset_stores() -> None:
+    """Forget every interned store (tests that need cold stats)."""
+    _STORES.clear()

@@ -1,0 +1,328 @@
+"""Sharded sweep scheduler: declarative work units over the run store.
+
+Every figure driver and ablation decomposes into :class:`WorkUnit`\\ s —
+small, hashable, picklable descriptions of one deterministic piece of
+work (one (app, machine) run, one predictor-variant run, one ablation
+measurement).  :func:`run_units` drives a batch of units through the
+persistent :mod:`~repro.experiments.store`:
+
+* units whose key is already stored are returned without running;
+* the rest execute serially or fan out over a ``ProcessPoolExecutor``
+  (``jobs=N``), in either case producing identical results (units are
+  independent and results are keyed by unit, not by completion order);
+* fresh results are written back to the store — even under
+  ``no_cache``, which only bypasses *reads* — so a warm cache directory
+  lets a second invocation of any figure complete without a single
+  machine run.
+
+New unit kinds register an executor with :func:`unit_runner`; executors
+are plain module-level functions so units stay picklable for the pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments import runner as _runner
+from repro.experiments.store import get_store
+from repro.workloads import get_app
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shardable, cacheable piece of experiment work.
+
+    ``kind`` names a registered executor; ``variant`` is a short label
+    distinguishing config variants of the same (app, machine) pair
+    (predictor choice, homing policy, ...); ``params`` carries the
+    variant's constructor arguments as plain hashable values.
+    """
+
+    kind: str
+    app: str = ""
+    machine: str = ""
+    variant: str = ""
+    params: Tuple = ()
+
+
+_RUNNERS: Dict[str, Callable] = {}
+
+
+def unit_runner(kind: str):
+    """Register the executor for one unit kind."""
+
+    def register(fn):
+        _RUNNERS[kind] = fn
+        return fn
+
+    return register
+
+
+def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
+    """Store key: the unit plus everything the result depends on.
+
+    The machine description enters through
+    :meth:`SystemConfig.config_hash` (so does the replay engine — the
+    engines are bit-identical, but keeping them keyed apart means a
+    warm cache can never mask an equivalence regression).
+    """
+    if unit.app:
+        counts = settings.interactions_for(get_app(unit.app))
+    else:
+        counts = (settings.n_user, settings.n_os)
+    return (
+        unit.kind,
+        unit.app,
+        unit.machine,
+        unit.variant,
+        tuple(unit.params),
+        settings.config.config_hash(),
+        counts,
+        settings.seed,
+    )
+
+
+def execute_unit(unit: WorkUnit, settings):
+    """Run one unit now, bypassing the store."""
+    try:
+        fn = _RUNNERS[unit.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown work-unit kind {unit.kind!r}; "
+            f"registered: {sorted(_RUNNERS)}"
+        ) from None
+    return fn(unit, settings)
+
+
+def _run_unit_worker(args: Tuple[WorkUnit, object]):
+    """Pool entry point: execute one unit, ship the result home.
+
+    Returns the worker's predictor-calibration cache alongside the
+    payload so the parent can keep later serial runs warm.
+    """
+    unit, settings = args
+    payload = execute_unit(unit, settings)
+    return unit, payload, settings.calibration_cache
+
+
+def run_units(
+    units: Iterable[WorkUnit],
+    settings=None,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    copy_results: bool = True,
+) -> Dict[WorkUnit, object]:
+    """Run every unit; returns payloads keyed by unit.
+
+    ``jobs`` > 1 shards pending units over a process pool (default:
+    ``settings.jobs``).  ``cache=False`` or ``settings.no_cache``
+    bypasses store reads; completed units are always written back.
+    ``copy_results=False`` returns stored objects directly for
+    read-only callers (see :meth:`ResultStore.get`).
+    """
+    settings = settings or _runner.ExperimentSettings()
+    if jobs is None:
+        jobs = settings.jobs
+    units = list(units)
+    store = get_store(settings.cache_dir)
+    read = cache and not settings.no_cache
+
+    results: Dict[WorkUnit, object] = {}
+    pending: List[WorkUnit] = []
+    for unit in units:
+        hit = store.get(unit_cache_key(unit, settings), copy_result=copy_results) if read else None
+        if hit is not None:
+            results[unit] = hit
+        elif unit not in results and unit not in pending:
+            pending.append(unit)
+
+    if pending and jobs and jobs > 1:
+        # Ship pared-down settings: the calibration cache can hold
+        # arbitrarily large state and every worker rebuilds what it
+        # needs anyway.
+        worker_settings = replace(settings, calibration_cache={}, jobs=None)
+        tasks = [(unit, worker_settings) for unit in pending]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for unit, payload, calib in pool.map(_run_unit_worker, tasks):
+                settings.calibration_cache.update(calib)
+                results[unit] = payload
+    else:
+        for unit in pending:
+            results[unit] = execute_unit(unit, settings)
+
+    for unit in pending:
+        store.put(unit_cache_key(unit, settings), results[unit])
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Unit executors
+# ---------------------------------------------------------------------------
+
+
+def pair_unit(app_name: str, machine_name: str) -> WorkUnit:
+    """One (app, machine) run with the machine's default configuration."""
+    return WorkUnit("pair", app=app_name, machine=machine_name)
+
+
+@unit_runner("pair")
+def _run_pair(unit: WorkUnit, settings):
+    return _runner.run_one(get_app(unit.app), unit.machine, settings)
+
+
+#: Predictor variants for ``predicted`` units: spec -> constructor.
+def build_predictor(spec: Tuple):
+    from repro.secure.predictor import (
+        FixedVariationPredictor,
+        GradientHeuristicPredictor,
+        OptimalPredictor,
+        StaticPredictor,
+    )
+
+    kind, *params = spec
+    factories = {
+        "heuristic": GradientHeuristicPredictor,
+        "optimal": OptimalPredictor,
+        "fixed": FixedVariationPredictor,
+        "static": StaticPredictor,
+    }
+    try:
+        factory = factories[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor spec {kind!r}; expected one of {sorted(factories)}"
+        ) from None
+    return factory(*params)
+
+
+def predicted_unit(app_name: str, variant: str, spec: Tuple) -> WorkUnit:
+    """An IRONHIDE run driven by an explicit re-allocation predictor."""
+    return WorkUnit(
+        "predicted", app=app_name, machine="ironhide", variant=variant, params=spec
+    )
+
+
+@unit_runner("predicted")
+def _run_predicted(unit: WorkUnit, settings):
+    predictor = build_predictor(unit.params)
+    return _runner.run_one(
+        get_app(unit.app), "ironhide", settings, predictor=predictor
+    )
+
+
+@unit_runner("homing")
+def _run_homing(unit: WorkUnit, settings):
+    """Average L2 round-trip memory cycles per L1 miss for one policy."""
+    from repro.arch.address import VirtualMemory
+    from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
+
+    config = settings.config
+    policy = unit.variant
+    app = get_app(unit.app)
+    proc = app.make_secure()
+    rng = np.random.default_rng(1)
+    trace = proc.calibration_trace(rng, 2)
+    slices = list(range(24)) if policy == "local-cluster" else list(range(config.n_cores))
+    hier = MemoryHierarchy(config)
+    vm = VirtualMemory("p", hier.address_space, list(range(config.mem.n_regions)))
+    ctx = ProcessContext(
+        "p", "secure", vm, cores=list(range(24)), slices=slices,
+        controllers=list(range(config.mem.n_controllers)),
+        homing="local" if policy == "local-cluster" else "hash",
+        enforce=False,
+    )
+    res = hier.run_trace(ctx, trace.addrs, trace.writes)
+    return res.mem_cycles / max(1, res.l1_misses)
+
+
+@unit_runner("routing")
+def _run_routing(unit: WorkUnit, settings):
+    """Cluster-escape counts for X-Y-only vs bidirectional routing."""
+    from repro.arch.mesh import MeshTopology
+    from repro.arch.routing import path_contained, route_xy, route_yx
+
+    rows, cols = unit.params
+    mesh = MeshTopology(rows, cols, 4)
+    n = rows * cols
+    xy_escapes = 0
+    bidi_escapes = 0
+    pairs = 0
+    for n_sec in range(1, n):
+        for cluster in (frozenset(range(n_sec)), frozenset(range(n_sec, n))):
+            members = sorted(cluster)
+            for a in members:
+                for b in members:
+                    if a == b:
+                        continue
+                    pairs += 1
+                    xy_ok = path_contained(route_xy(mesh, a, b), cluster)
+                    yx_ok = path_contained(route_yx(mesh, a, b), cluster)
+                    if not xy_ok:
+                        xy_escapes += 1
+                    if not (xy_ok or yx_ok):
+                        bidi_escapes += 1
+    return {
+        "pairs": pairs,
+        "xy_only_escapes": xy_escapes,
+        "bidirectional_escapes": bidi_escapes,
+    }
+
+
+@unit_runner("purge_anatomy")
+def _run_purge_anatomy(unit: WorkUnit, settings):
+    """Component costs of one MI6 purge after a short warm-up."""
+    from repro.machines.mi6 import Mi6Machine
+    from repro.sim.stats import ProcessStats
+
+    app = get_app(unit.app)
+    machine = Mi6Machine(settings.config)
+    sec, ins = app.processes()
+    rng = np.random.default_rng(0)
+    st = machine._setup(app, sec, ins, rng)
+    for i in range(3):
+        machine._interaction(app, st, sec, ins, rng, i, False, st.breakdown,
+                             ProcessStats(), ProcessStats())
+    # One more producer+consumer pass, then inspect a purge directly.
+    tr = ins.interaction_trace(rng, 10)
+    machine.hier.run_trace(st.ctx_insecure, tr.addrs, tr.writes)
+    tr = sec.interaction_trace(rng, 10)
+    machine.hier.run_trace(st.ctx_secure, tr.addrs, tr.writes)
+    report = machine.purge_model.purge(
+        machine.hier,
+        cores=[st.ctx_secure.rep_core, st.ctx_insecure.rep_core],
+        l2_slices=machine._plan.secure_slices + machine._plan.insecure_slices,
+        controllers=machine._plan.secure_mcs,
+        dirty_scale=app.footprint_scale,
+    )
+    return {
+        "dummy_read": report.dummy_read_cycles,
+        "tlb_flush": report.tlb_flush_cycles,
+        "l1_drain": report.l1_drain_cycles,
+        "mc_drain": report.mc_drain_cycles,
+        "pipeline": report.pipeline_flush_cycles,
+        "total": report.total_cycles,
+    }
+
+
+@unit_runner("replication")
+def _run_replication(unit: WorkUnit, settings):
+    """Baseline completion cycles with L2 replication forced on or off."""
+    from repro.machines.insecure import InsecureMachine
+
+    enabled = unit.variant == "replication-on"
+    app = get_app(unit.app)
+    machine = InsecureMachine(settings.config)
+    original = machine._make_context
+
+    def patched(*args, **kwargs):
+        kwargs["replication"] = enabled
+        return original(*args, **kwargs)
+
+    machine._make_context = patched
+    return machine.run(
+        app, n_interactions=settings.interactions_for(app), seed=settings.seed
+    ).completion_cycles

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.reporting import geomean, print_table
-from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
+from repro.experiments.runner import ExperimentSettings, run_matrix
 from repro.units import ms_from_cycles, s_from_cycles
 from repro.workloads import APPS
 
@@ -64,12 +64,14 @@ def run_interactivity_table(
     settings: Optional[ExperimentSettings] = None, verbose: bool = True
 ) -> InteractivityData:
     settings = settings or ExperimentSettings()
-    results = run_matrix(APPS, ("insecure", "mi6"), settings)
+    results = run_matrix(
+        APPS, ("insecure", "mi6", "ironhide"), settings, copy=False
+    )
     rows: List[InteractivityRow] = []
     for app in APPS:
         ins = results[(app.name, "insecure")]
         mi6 = results[(app.name, "mi6")]
-        ih = run_one(app, "ironhide", settings)
+        ih = results[(app.name, "ironhide")]
         per_interaction_s = s_from_cycles(ins.completion_cycles) / ins.interactions
         purge_ms = ms_from_cycles(mi6.breakdown.purge) / mi6.interactions
         # Reconstruct the unamortized one-time cost.

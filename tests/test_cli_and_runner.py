@@ -141,6 +141,42 @@ class TestResultCache:
         assert len(calls) == 2
 
 
+class TestPersistentSweeps:
+    def test_fig8_quick_warm_cache_dir_zero_machine_runs(self, tmp_path, monkeypatch):
+        """Second ``fig8 --quick`` invocation against a warm cache dir
+        must complete on store hits alone — zero machine runs — even
+        with the in-process memory layer dropped."""
+        cache_dir = str(tmp_path / "results")
+        assert main(["fig8", "--quick", "--cache-dir", cache_dir]) == 0
+        runner_mod.clear_result_cache()  # disk is all that's left
+
+        def no_runs(*args, **kwargs):
+            raise AssertionError("machine run despite a warm result store")
+
+        monkeypatch.setattr(runner_mod, "run_one", no_runs)
+        assert main(["fig8", "--quick", "--cache-dir", cache_dir]) == 0
+
+    def test_fig8_jobs_invariance(self):
+        """fig8 output is identical with --jobs 1 and --jobs 4."""
+        from repro.experiments.fig8 import run_fig8
+
+        runs = {}
+        for jobs in (1, 4):
+            settings = ExperimentSettings(n_user=2, n_os=4, no_cache=True)
+            runs[jobs] = run_fig8(settings, verbose=False, percents=(5,), jobs=jobs)
+        assert runs[1] == runs[4]
+
+    def test_ablations_jobs_invariance(self):
+        """Every ablation is identical with --jobs 1 and --jobs 4."""
+        from repro.experiments.ablations import run_all_ablations
+
+        runs = {}
+        for jobs in (1, 4):
+            settings = ExperimentSettings(n_user=2, n_os=4, no_cache=True)
+            runs[jobs] = run_all_ablations(settings, verbose=False, jobs=jobs)
+        assert runs[1] == runs[4]
+
+
 class TestParallelRunMatrix:
     def test_pool_matches_serial(self):
         runner_mod.clear_result_cache()

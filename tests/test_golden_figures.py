@@ -1,0 +1,69 @@
+"""Golden-number regression suite (marker ``golden``, tier-1).
+
+Freezes the per-(app, machine) speedup/latency numbers of the quick
+Figure 1/6/7 runs in ``tests/golden/figures_quick.json`` and asserts
+**bit-exact** equality on both replay engines.  Any drift means the
+performance model changed: if intentional, bump
+``repro.experiments.store.MODEL_VERSION`` and refresh with
+``PYTHONPATH=src python tools/update_goldens.py``; if not, it is a
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import collect_golden_numbers
+from repro.experiments.store import MODEL_VERSION
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "figures_quick.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module", params=["scalar", "vector"])
+def measured(request):
+    return collect_golden_numbers(request.param)
+
+
+def test_golden_model_fingerprint_current(golden):
+    """Goldens must be refreshed together with every model bump."""
+    assert golden["model"] == MODEL_VERSION
+
+
+def test_golden_settings_match_quick_cli(golden):
+    assert golden["settings"] == {"n_user": 12, "n_os": 80, "seed": 0}
+
+
+def test_fig1_bit_exact(golden, measured):
+    assert measured["fig1"] == golden["fig1"]
+
+
+def test_fig6_per_app_bit_exact(golden, measured):
+    assert set(measured["fig6"]) == set(golden["fig6"])
+    for app, frozen in golden["fig6"].items():
+        assert measured["fig6"][app] == frozen, app
+
+
+def test_fig6_geomeans_bit_exact(golden, measured):
+    assert measured["fig6_geomeans"] == golden["fig6_geomeans"]
+
+
+def test_fig7_miss_rates_bit_exact(golden, measured):
+    assert set(measured["fig7"]) == set(golden["fig7"])
+    for app, frozen in golden["fig7"].items():
+        assert measured["fig7"][app] == frozen, app
+
+
+def test_whole_payload_bit_exact(golden, measured):
+    """Belt and braces: nothing outside the per-figure keys drifts."""
+    assert measured == golden

@@ -189,6 +189,50 @@ class TestTraceEquivalence:
         pair.assert_same_state()
 
 
+class TestFuzzEquivalence:
+    """Seeded randomized fuzzing beyond the hand-picked workloads.
+
+    Each (machine config, seed) pair derives every trace parameter —
+    length, address span, run-length bias, write fraction — and the
+    context shape (slice count, homing policy, replication) from its
+    own seeded generator, so the suite sweeps a reproducible cloud of
+    contexts the targeted tests above never visit.
+    """
+
+    CONFIGS = {
+        "small": SystemConfig.small,
+        "evaluation": SystemConfig.evaluation,
+    }
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_fuzzed_random_traces(self, backend, config_name, seed):
+        rng = np.random.default_rng(7_000 + seed)
+        config = self.CONFIGS[config_name]()
+        homing = "hash" if seed % 2 else "local"
+        pair = EnginePair(
+            config=config,
+            homing=homing,
+            replication=(homing == "hash"),
+            slices=list(range((4, 8, 16)[seed % 3])),
+        )
+        for _ in range(3):
+            n = int(rng.integers(200, 2500))
+            addrs, writes = random_trace(
+                rng,
+                n,
+                span=1 << int(rng.integers(14, 20)),
+                run_prob=float(rng.random()),
+                write_frac=float(rng.random()),
+            )
+            res = pair.run(addrs, writes)
+            assert res.accesses == n
+            pair.assert_same_state()
+        if seed % 3 == 0:
+            pair.purge()
+            pair.assert_same_state()
+
+
 class TestMachineEquivalence:
     @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
     def test_full_machine_runs_identical(self, backend, machine):

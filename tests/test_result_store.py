@@ -1,0 +1,206 @@
+"""Tests for the persistent experiment result store.
+
+Round-trip fidelity, validation (schema/model/engine mismatches,
+corrupted and mismatched files -> recompute), atomic concurrent
+writes, cross-process reuse, and the ``no_cache`` read-bypass.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
+from repro.experiments.store import (
+    MODEL_VERSION,
+    SCHEMA_VERSION,
+    ResultStore,
+    get_store,
+)
+from repro.experiments.sweep import pair_unit, unit_cache_key
+from repro.workloads import get_app
+
+KEY = ("unit-test", "<AES, QUERY>", "sgx", "deadbeef", 2, 0)
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    settings = ExperimentSettings(n_user=2, n_os=4)
+    return run_one(get_app("<AES, QUERY>"), "sgx", settings)
+
+
+def _tamper(store: ResultStore, key, field, value):
+    path = store.path_for(key)
+    payload = json.loads(path.read_text())
+    payload[field] = value
+    path.write_text(json.dumps(payload))
+
+
+class TestRoundTrip:
+    def test_run_result_round_trips_exactly(self, tmp_path, sample_result):
+        ResultStore(tmp_path).put(KEY, sample_result)
+        # A fresh instance has a cold memory layer: this is a disk read.
+        fresh = ResultStore(tmp_path)
+        got = fresh.get(KEY)
+        assert got == sample_result
+        assert got is not sample_result
+        assert fresh.stats.disk_hits == 1
+
+    def test_plain_data_round_trips(self, tmp_path):
+        value = {"total": 123456.789e-3, "parts": [1, 2.5, "x"], "flag": True}
+        ResultStore(tmp_path).put(KEY, value)
+        assert ResultStore(tmp_path).get(KEY) == value
+
+    def test_memory_only_store(self, sample_result):
+        store = ResultStore(None)
+        store.put(KEY, sample_result)
+        assert store.get(KEY) == sample_result
+        with pytest.raises(ValueError):
+            store.path_for(KEY)
+
+    def test_get_copy_semantics(self, tmp_path, sample_result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, sample_result)
+        shared = store.get(KEY, copy_result=False)
+        assert store.get(KEY, copy_result=False) is shared
+        assert store.get(KEY, copy_result=True) is not shared
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        assert store.stats.misses == 1
+
+
+class TestValidation:
+    def test_schema_version_mismatch_recomputes(self, tmp_path, sample_result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, sample_result)
+        _tamper(store, KEY, "schema", SCHEMA_VERSION + 1)
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KEY) is None
+        assert fresh.stats.invalid == 1
+
+    def test_model_version_mismatch_recomputes(self, tmp_path, sample_result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, sample_result)
+        _tamper(store, KEY, "model", MODEL_VERSION + "-stale")
+        assert ResultStore(tmp_path).get(KEY) is None
+
+    def test_engine_mismatch_means_different_key(self):
+        """The replay engine is part of the config hash, so results
+        computed under one engine are never served for the other."""
+        unit = pair_unit("<AES, QUERY>", "sgx")
+        scalar = ExperimentSettings(n_user=2)
+        vector = ExperimentSettings(n_user=2)
+        vector.config = vector.config.with_engine("vector")
+        assert unit_cache_key(unit, scalar) != unit_cache_key(unit, vector)
+
+    def test_corrupted_file_recovery(self, tmp_path, sample_result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, sample_result)
+        path = store.path_for(KEY)
+        path.write_bytes(b"\x00garbage{{{")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KEY) is None  # corrupt -> miss, no crash
+        fresh.put(KEY, sample_result)  # and the slot is recoverable
+        assert ResultStore(tmp_path).get(KEY) == sample_result
+
+    def test_foreign_key_payload_rejected(self, tmp_path, sample_result):
+        """A file whose embedded key disagrees (collision/tampering)
+        is ignored."""
+        store = ResultStore(tmp_path)
+        other = ("unit-test", "other-key")
+        store.put(other, sample_result)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(store.path_for(other).read_text())
+        assert ResultStore(tmp_path).get(KEY) is None
+
+
+def _concurrent_put(args):
+    cache_dir, worker_id = args
+    store = ResultStore(cache_dir)
+    store.put(KEY, {"worker": worker_id, "payload": [worker_id] * 8})
+    return worker_id
+
+
+class TestConcurrency:
+    def test_concurrent_writers_leave_valid_store(self, tmp_path):
+        """Two pool workers racing on the same key: last atomic rename
+        wins and the file is never torn."""
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            done = list(pool.map(_concurrent_put, [(tmp_path, 1), (tmp_path, 2)]))
+        assert sorted(done) == [1, 2]
+        got = ResultStore(tmp_path).get(KEY)
+        assert got in ({"worker": 1, "payload": [1] * 8}, {"worker": 2, "payload": [2] * 8})
+
+    def test_no_tmp_files_left_behind(self, tmp_path, sample_result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, sample_result)
+        assert not list(Path(tmp_path).rglob("*.tmp"))
+
+    def test_cross_process_reuse(self, tmp_path, monkeypatch):
+        """A run recorded by another process is served from disk here."""
+        script = (
+            "from repro.experiments.runner import ExperimentSettings, run_matrix\n"
+            "from repro.workloads import get_app\n"
+            f"settings = ExperimentSettings(n_user=2, n_os=4, cache_dir={str(tmp_path)!r})\n"
+            "run_matrix([get_app('<AES, QUERY>')], ('insecure',), settings)\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=Path(__file__).parent.parent,
+        )
+        runner_mod.clear_result_cache()
+        calls = []
+        real = runner_mod.run_one
+        monkeypatch.setattr(
+            runner_mod, "run_one", lambda *a, **k: calls.append(a) or real(*a, **k)
+        )
+        settings = ExperimentSettings(n_user=2, n_os=4, cache_dir=str(tmp_path))
+        results = run_matrix([get_app("<AES, QUERY>")], ("insecure",), settings)
+        assert not calls
+        assert results[("<AES, QUERY>", "insecure")].app == "<AES, QUERY>"
+
+
+class TestNoCache:
+    def test_no_cache_bypasses_reads_but_still_writes(self, tmp_path, monkeypatch):
+        calls = []
+        real = runner_mod.run_one
+        monkeypatch.setattr(
+            runner_mod, "run_one", lambda *a, **k: calls.append(a) or real(*a, **k)
+        )
+        apps = [get_app("<AES, QUERY>")]
+        bypass = ExperimentSettings(n_user=2, n_os=4, cache_dir=str(tmp_path), no_cache=True)
+        run_matrix(apps, ("insecure",), bypass)
+        assert len(calls) == 1
+        store = get_store(str(tmp_path))
+        assert store.path_for(unit_cache_key(pair_unit("<AES, QUERY>", "insecure"), bypass)).exists()
+        run_matrix(apps, ("insecure",), bypass)
+        assert len(calls) == 2  # reads bypassed: recomputed
+        reading = ExperimentSettings(n_user=2, n_os=4, cache_dir=str(tmp_path))
+        run_matrix(apps, ("insecure",), reading)
+        assert len(calls) == 2  # normal settings hit what no_cache wrote
+
+
+class TestStoreInterning:
+    def test_get_store_interns_per_directory(self, tmp_path):
+        assert get_store(str(tmp_path)) is get_store(str(tmp_path))
+        assert get_store(None) is get_store(None)
+        assert get_store(str(tmp_path)) is not get_store(None)
+
+    def test_clear_result_cache_keeps_disk(self, tmp_path, sample_result):
+        store = get_store(str(tmp_path))
+        key = ("unit-test", "persist")
+        store.put(key, sample_result)
+        runner_mod.clear_result_cache()
+        assert len(store) == 0
+        assert store.get(key) == sample_result  # reloaded from disk

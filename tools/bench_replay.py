@@ -7,9 +7,17 @@ the experiment harness weighs them — through both replay engines on the
 evaluation machine, verifies the engines return identical counters, and
 reports events/second plus the vector/scalar speedup.
 
+With ``--store`` it additionally benchmarks the persistent result
+store: the Fig. 6 pair matrix cold (all misses), warm in-memory, and
+warm from disk (fresh process image simulated by dropping the memory
+layer), reporting hit/miss counts.  ``--json PATH`` snapshots every
+number so the perf trajectory accumulates across PRs
+(``BENCH_replay.json`` at the repo root is the checked-in baseline).
+
 Usage:
     PYTHONPATH=src python tools/bench_replay.py [--user N] [--os N]
-                                                [--repeats K]
+                                                [--repeats K] [--store]
+                                                [--json PATH]
 
 Exit status is non-zero if the engines disagree on any counter, so the
 script doubles as a CI smoke check for the equivalence guarantee.
@@ -18,7 +26,10 @@ script doubles as a CI smoke check for the equivalence guarantee.
 from __future__ import annotations
 
 import argparse
+import json
+import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -26,6 +37,7 @@ import numpy as np
 from repro.arch.address import VirtualMemory
 from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
 from repro.config import SystemConfig
+from repro.experiments.reporting import print_stats
 from repro.workloads import APPS
 
 
@@ -71,6 +83,32 @@ def replay_mix(engine: str, mix):
     return hier, results, elapsed
 
 
+def bench_store(n_user: int, n_os: int) -> dict:
+    """Cold / warm-memory / warm-disk result-store matrix timings."""
+    from repro.experiments.runner import ExperimentSettings, run_matrix
+    from repro.experiments.store import get_store
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-store-bench-")
+    machines = ("insecure", "mi6")
+    out = {"matrix": f"{len(APPS)} apps x {machines}"}
+    try:
+        store = get_store(cache_dir)
+        for phase in ("cold", "warm-memory", "warm-disk"):
+            if phase == "warm-disk":
+                store.clear_memory()
+            settings = ExperimentSettings(
+                n_user=n_user, n_os=n_os, cache_dir=cache_dir
+            )
+            start = time.perf_counter()
+            run_matrix(APPS, machines, settings, copy=False)
+            out[phase + "_s"] = round(time.perf_counter() - start, 4)
+        out.update(store.stats.as_dict())
+        print_stats("  store", out)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--user", type=int, default=4,
@@ -79,6 +117,10 @@ def main(argv=None) -> int:
                         help="interactions per OS-level app (default 12)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions; the best run is reported")
+    parser.add_argument("--store", action="store_true",
+                        help="also benchmark the persistent result store")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write a machine-readable metrics snapshot here")
     args = parser.parse_args(argv)
 
     mix = build_mix(args.user, args.n_os)
@@ -112,6 +154,31 @@ def main(argv=None) -> int:
     speedup = timings["scalar"] / timings["vector"]
     print(f"  speedup {speedup:.2f}x (vector/{backend} over scalar); "
           f"counters identical across {len(results['scalar'])} replays")
+
+    store_metrics = bench_store(args.user, args.n_os) if args.store else None
+
+    if args.json_path:
+        snapshot = {
+            "mix": {
+                "user": args.user,
+                "os": args.n_os,
+                "streams": len(mix),
+                "accesses": accesses,
+                "events": events,
+            },
+            "backend": backend,
+            "seconds": {engine: timings[engine] for engine in timings},
+            "accesses_per_s": {
+                engine: accesses / timings[engine] for engine in timings
+            },
+            "speedup": speedup,
+        }
+        if store_metrics is not None:
+            snapshot["store"] = store_metrics
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {args.json_path}")
     return 0
 
 

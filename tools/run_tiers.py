@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Run the repo's test tiers with a summary table.
+
+Tier-1 is the full suite (``pytest -x -q``) — the bar every PR must
+hold.  The ``golden`` and ``equivalence`` markers are then run on
+their own so a regression in either regression suite is reported by
+name even though both already ran inside tier-1.  With ``--bench`` the
+replay benchmark records a fresh ``BENCH_replay.json`` snapshot at the
+repo root so the perf trajectory keeps accumulating.
+
+Usage:
+    python tools/run_tiers.py [--bench] [--skip-tier1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+TIERS = [
+    ("tier-1", ["-m", "pytest", "-x", "-q"]),
+    ("golden", ["-m", "pytest", "-q", "-m", "golden"]),
+    ("equivalence", ["-m", "pytest", "-q", "-m", "equivalence"]),
+]
+
+
+def run_phase(name: str, argv) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    proc = subprocess.run([sys.executable] + argv, cwd=REPO, env=env)
+    return {
+        "phase": name,
+        "status": "ok" if proc.returncode == 0 else f"FAIL ({proc.returncode})",
+        "seconds": time.perf_counter() - start,
+        "ok": proc.returncode == 0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", action="store_true",
+                        help="record a BENCH_replay.json snapshot too")
+    parser.add_argument("--skip-tier1", action="store_true",
+                        help="run only the marker suites (fast re-check)")
+    args = parser.parse_args(argv)
+
+    phases = []
+    for name, tier_argv in TIERS:
+        if args.skip_tier1 and name == "tier-1":
+            continue
+        print(f"\n=== {name} ===")
+        phases.append(run_phase(name, tier_argv))
+    if args.bench:
+        print("\n=== bench ===")
+        phases.append(
+            run_phase(
+                "bench",
+                [str(REPO / "tools" / "bench_replay.py"), "--store",
+                 "--json", str(REPO / "BENCH_replay.json")],
+            )
+        )
+
+    # Local import so the summary renders even if src/ is broken enough
+    # that collection failed above (the table is the whole point).
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.experiments.reporting import format_table
+
+    print("\n== Tier summary ==")
+    print(format_table(
+        ["phase", "status", "seconds"],
+        [[p["phase"], p["status"], p["seconds"]] for p in phases],
+        precision=1,
+    ))
+    return 0 if all(p["ok"] for p in phases) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

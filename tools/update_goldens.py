@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Refresh the golden figure numbers under tests/golden/.
+
+Run after an *intentional* performance-model change, together with a
+bump of ``repro.experiments.store.MODEL_VERSION``:
+
+    PYTHONPATH=src python tools/update_goldens.py
+
+The numbers are generated with the scalar (reference) engine and then
+verified bit-exact against the vector engine before anything is
+written, so a refresh can never freeze an engine divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.golden import collect_golden_numbers
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / "figures_quick.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=GOLDEN_PATH, help="golden JSON destination"
+    )
+    parser.add_argument(
+        "--skip-cross-check",
+        action="store_true",
+        help="skip the scalar-vs-vector verification (debugging only)",
+    )
+    args = parser.parse_args(argv)
+
+    print("collecting golden numbers (scalar engine)...")
+    golden = collect_golden_numbers("scalar")
+    if not args.skip_cross_check:
+        print("cross-checking against the vector engine...")
+        vector = collect_golden_numbers("vector")
+        if golden != vector:
+            print(
+                "ERROR: scalar and vector engines disagree; fix the "
+                "equivalence regression before refreshing goldens",
+                file=sys.stderr,
+            )
+            return 1
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} (model {golden['model']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
