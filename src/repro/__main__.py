@@ -72,6 +72,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="bypass result-store reads (fresh runs are still recorded)",
     )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help="disk cap for --cache-dir; LRU entries are evicted on write",
+    )
     args = parser.parse_args(argv)
 
     settings = ExperimentSettings(
@@ -79,6 +85,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
+        cache_max_mb=args.cache_max_mb,
     )
     settings.config = settings.config.with_engine(args.engine)
     if args.quick:

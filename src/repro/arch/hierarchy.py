@@ -397,6 +397,45 @@ class MemoryHierarchy:
             self.controllers[mc].record_traffic(reqs, 0)
         return result
 
+    def run_trace_batched(
+        self,
+        ctx: ProcessContext,
+        addrs: np.ndarray,
+        writes: Optional[np.ndarray] = None,
+        bounds: Optional[Sequence[int]] = None,
+    ) -> List[TraceResult]:
+        """Replay one concatenated trace with per-segment boundaries.
+
+        ``bounds`` is a non-decreasing sequence of offsets into
+        ``addrs`` (including 0 and ``len(addrs)``); each adjacent pair
+        delimits one segment.  Returns one :class:`TraceResult` per
+        segment, bit-identical to calling :meth:`run_trace` once per
+        segment in order — but with translation, homing, compression
+        and kernel dispatch amortized over the whole batch.  On the
+        scalar engine this falls back to the per-segment loop (the
+        reference oracle).
+        """
+        if bounds is None:
+            bounds = [0, len(addrs)]
+        bounds = [int(b) for b in bounds]
+        if self.engine != "vector":
+            return [
+                self.run_trace(
+                    ctx, addrs[a:b], None if writes is None else writes[a:b]
+                )
+                for a, b in zip(bounds[:-1], bounds[1:])
+            ]
+        from repro.arch.batch_replay import BatchReplayer, Segment
+
+        segments = [
+            Segment(
+                ctx, addrs[a:b], None if writes is None else writes[a:b]
+            )
+            for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        replayer = BatchReplayer(self, segments)
+        return replayer.run_epoch(0, len(segments))
+
     # ------------------------------------------------------------------
     # Scalar engine (reference oracle)
     # ------------------------------------------------------------------

@@ -127,34 +127,100 @@ i64 l2_flags(i64 n, const i64 *lines, const i8 *writes,
     return hits;
 }
 
+/* _wb variants: additionally record which events caused a dirty-line
+ * writeback (wb_pos, indices into the batch), so a batched replay can
+ * attribute writebacks to the segment whose access evicted the line. */
+
+i64 l1_filter_wb(i64 n, const i64 *lines, const i8 *writes,
+                 i64 *tags, i8 *dirty, i64 *age, i64 *clock_io,
+                 i64 set_mask, i64 assoc,
+                 i64 *miss_pos, i64 *wb_pos, i64 *stats_out)
+{
+    i64 clock = *clock_io, n_miss = 0, n_wb = 0, evictions = 0, writebacks = 0;
+    for (i64 k = 0; k < n; k++) {
+        i64 wb_before = writebacks;
+        if (!do_access(lines[k], writes[k], tags, dirty, age, &clock,
+                       set_mask, assoc, &evictions, &writebacks))
+            miss_pos[n_miss++] = k;
+        if (writebacks != wb_before)
+            wb_pos[n_wb++] = k;
+    }
+    *clock_io = clock;
+    stats_out[0] = evictions;
+    stats_out[1] = writebacks;
+    stats_out[2] = n_wb;
+    return n_miss;
+}
+
+i64 l2_flags_wb(i64 n, const i64 *lines, const i8 *writes,
+                i64 *tags, i8 *dirty, i64 *age, i64 *clock_io,
+                i64 set_mask, i64 assoc,
+                i8 *flags, i64 *wb_pos, i64 *stats_out)
+{
+    i64 clock = *clock_io, hits = 0, n_wb = 0, evictions = 0, writebacks = 0;
+    for (i64 k = 0; k < n; k++) {
+        i64 wb_before = writebacks;
+        i64 h = do_access(lines[k], writes[k], tags, dirty, age, &clock,
+                          set_mask, assoc, &evictions, &writebacks);
+        flags[k] = (i8)h;
+        hits += h;
+        if (writebacks != wb_before)
+            wb_pos[n_wb++] = k;
+    }
+    *clock_io = clock;
+    stats_out[0] = evictions;
+    stats_out[1] = writebacks;
+    stats_out[2] = n_wb;
+    return hits;
+}
+
 /* Fully-associative LRU TLB over page-change events.  entries/age are
- * capacity-sized arrays (-1 = empty).  Returns the number of misses. */
+ * capacity-sized arrays (-1 = empty).  Returns the number of misses.
+ * The _flags variant also writes a per-event 1/0 miss flag. */
+static inline i64 tlb_one(i64 page, i64 *entries, i64 *age,
+                          i64 *clock, i64 capacity)
+{
+    i64 hit = -1, empty = -1;
+    for (i64 j = 0; j < capacity; j++) {
+        i64 t = entries[j];
+        if (t == page) { hit = j; break; }
+        if (t == -1 && empty == -1) empty = j;
+    }
+    if (hit >= 0) {
+        age[hit] = ++(*clock);
+        return 0;
+    }
+    i64 slot = empty;
+    if (slot < 0) {
+        slot = 0;
+        i64 amin = age[0];
+        for (i64 j = 1; j < capacity; j++)
+            if (age[j] < amin) { amin = age[j]; slot = j; }
+    }
+    entries[slot] = page;
+    age[slot] = ++(*clock);
+    return 1;
+}
+
 i64 tlb_misses(i64 n, const i64 *pages,
                i64 *entries, i64 *age, i64 *clock_io, i64 capacity)
 {
     i64 clock = *clock_io, misses = 0;
+    for (i64 k = 0; k < n; k++)
+        misses += tlb_one(pages[k], entries, age, &clock, capacity);
+    *clock_io = clock;
+    return misses;
+}
+
+i64 tlb_flags(i64 n, const i64 *pages,
+              i64 *entries, i64 *age, i64 *clock_io, i64 capacity,
+              i8 *miss_flags)
+{
+    i64 clock = *clock_io, misses = 0;
     for (i64 k = 0; k < n; k++) {
-        i64 page = pages[k];
-        i64 hit = -1, empty = -1;
-        for (i64 j = 0; j < capacity; j++) {
-            i64 t = entries[j];
-            if (t == page) { hit = j; break; }
-            if (t == -1 && empty == -1) empty = j;
-        }
-        if (hit >= 0) {
-            age[hit] = ++clock;
-            continue;
-        }
-        misses++;
-        i64 slot = empty;
-        if (slot < 0) {
-            slot = 0;
-            i64 amin = age[0];
-            for (i64 j = 1; j < capacity; j++)
-                if (age[j] < amin) { amin = age[j]; slot = j; }
-        }
-        entries[slot] = page;
-        age[slot] = ++clock;
+        i64 m = tlb_one(pages[k], entries, age, &clock, capacity);
+        miss_flags[k] = (i8)m;
+        misses += m;
     }
     *clock_io = clock;
     return misses;
@@ -197,8 +263,13 @@ def _load() -> Optional[ctypes.CDLL]:
     for fn in (lib.l1_filter, lib.l2_flags):
         fn.restype = i64
         fn.argtypes = [i64, ptr, ptr, ptr, ptr, ptr, ptr, i64, i64, ptr, ptr]
+    for fn in (lib.l1_filter_wb, lib.l2_flags_wb):
+        fn.restype = i64
+        fn.argtypes = [i64, ptr, ptr, ptr, ptr, ptr, ptr, i64, i64, ptr, ptr, ptr]
     lib.tlb_misses.restype = i64
     lib.tlb_misses.argtypes = [i64, ptr, ptr, ptr, ptr, i64]
+    lib.tlb_flags.restype = i64
+    lib.tlb_flags.argtypes = [i64, ptr, ptr, ptr, ptr, i64, ptr]
     return lib
 
 
@@ -244,7 +315,7 @@ class NativeCache:
         self.dirty = np.zeros(self.n_sets * self.assoc, dtype=np.int8)
         self.age = np.zeros(self.n_sets * self.assoc, dtype=np.int64)
         self._clock = np.zeros(1, dtype=np.int64)
-        self._stats_out = np.zeros(2, dtype=np.int64)
+        self._stats_out = np.zeros(3, dtype=np.int64)
         self.stats = CacheStats()
         # The state buffers are never reallocated (fill() mutates in
         # place), so their raw addresses can be cached once.
@@ -296,6 +367,49 @@ class NativeCache:
         st.evictions += int(self._stats_out[0])
         st.writebacks += int(self._stats_out[1])
         return flags
+
+    def kernel_filter_misses_wb(
+        self, lines: np.ndarray, writes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`kernel_filter_misses`, also returning the positions
+        of events that caused a dirty-line writeback."""
+        n = len(lines)
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=np.int8)
+        miss_pos = np.empty(n, dtype=np.int64)
+        wb_pos = np.empty(n, dtype=np.int64)
+        n_miss = self._lib.l1_filter_wb(
+            n, lines.ctypes.data, writes.ctypes.data,
+            *self._state_ptrs, self._set_mask, self.assoc,
+            miss_pos.ctypes.data, wb_pos.ctypes.data, self._stats_ptr,
+        )
+        st = self.stats
+        st.hits += n - n_miss
+        st.misses += n_miss
+        st.evictions += int(self._stats_out[0])
+        st.writebacks += int(self._stats_out[1])
+        return miss_pos[:n_miss], wb_pos[: int(self._stats_out[2])]
+
+    def kernel_hit_flags_wb(
+        self, lines: np.ndarray, writes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`kernel_hit_flags`, also returning writeback positions."""
+        n = len(lines)
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=np.int8)
+        flags = np.empty(n, dtype=np.int8)
+        wb_pos = np.empty(n, dtype=np.int64)
+        hits = self._lib.l2_flags_wb(
+            n, lines.ctypes.data, writes.ctypes.data,
+            *self._state_ptrs, self._set_mask, self.assoc,
+            flags.ctypes.data, wb_pos.ctypes.data, self._stats_ptr,
+        )
+        st = self.stats
+        st.hits += int(hits)
+        st.misses += n - int(hits)
+        st.evictions += int(self._stats_out[0])
+        st.writebacks += int(self._stats_out[1])
+        return flags, wb_pos[: int(self._stats_out[2])]
 
     # ------------------------------------------------------------------
     # SetAssocCache-compatible scalar API
@@ -449,6 +563,19 @@ class NativeTlb:
         self.stats.hits += n - misses
         self.stats.misses += misses
         return misses
+
+    def access_batch_flags(self, pages: np.ndarray) -> np.ndarray:
+        """Look up a batch of pages; returns a per-event 1/0 miss flag."""
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        n = len(pages)
+        flags = np.empty(n, dtype=np.int8)
+        misses = self._lib.tlb_flags(
+            n, pages.ctypes.data, *self._ptrs, self.config.entries,
+            flags.ctypes.data,
+        )
+        self.stats.hits += n - misses
+        self.stats.misses += misses
+        return flags
 
     def access(self, vpage: int) -> bool:
         """Look up a virtual page; returns True on hit."""

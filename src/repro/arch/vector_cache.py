@@ -129,6 +129,86 @@ class VectorCache:
         st.writebacks += writebacks
         return flags
 
+    def kernel_filter_misses_wb(
+        self, lines: Sequence[int], writes: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Like :meth:`kernel_filter_misses`, also returning the positions
+        of events that caused a dirty-line writeback."""
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        if isinstance(writes, np.ndarray):
+            writes = writes.tolist()
+        sets = self._sets
+        mask = self._set_mask
+        assoc = self.assoc
+        missing = _MISSING
+        misses: List[int] = []
+        wbs: List[int] = []
+        evictions = 0
+        k = 0
+        for line, w in zip(lines, writes):
+            d = sets[line & mask]
+            v = d.pop(line, missing)
+            if v is not missing:
+                d[line] = v or w
+            else:
+                if len(d) >= assoc:
+                    victim = next(iter(d))
+                    if d.pop(victim):
+                        wbs.append(k)
+                    evictions += 1
+                d[line] = w
+                misses.append(k)
+            k += 1
+        st = self.stats
+        n_miss = len(misses)
+        st.hits += k - n_miss
+        st.misses += n_miss
+        st.evictions += evictions
+        st.writebacks += len(wbs)
+        return misses, wbs
+
+    def kernel_hit_flags_wb(
+        self, lines: Sequence[int], writes: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Like :meth:`kernel_hit_flags`, also returning writeback positions."""
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        if isinstance(writes, np.ndarray):
+            writes = writes.tolist()
+        sets = self._sets
+        mask = self._set_mask
+        assoc = self.assoc
+        missing = _MISSING
+        flags: List[int] = []
+        flag = flags.append
+        wbs: List[int] = []
+        misses = 0
+        evictions = 0
+        k = 0
+        for line, w in zip(lines, writes):
+            d = sets[line & mask]
+            v = d.pop(line, missing)
+            if v is not missing:
+                d[line] = v or w
+                flag(1)
+            else:
+                misses += 1
+                if len(d) >= assoc:
+                    victim = next(iter(d))
+                    if d.pop(victim):
+                        wbs.append(k)
+                    evictions += 1
+                d[line] = w
+                flag(0)
+            k += 1
+        st = self.stats
+        st.hits += len(flags) - misses
+        st.misses += misses
+        st.evictions += evictions
+        st.writebacks += len(wbs)
+        return flags, wbs
+
     # ------------------------------------------------------------------
     # SetAssocCache-compatible scalar API
     # ------------------------------------------------------------------

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.experiments.ablations import ablate_homing
 from repro.experiments.fig1 import run_fig1a
 from repro.experiments.fig6 import MACHINES as FIG6_MACHINES
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
 from repro.experiments.runner import ExperimentSettings
 from repro.experiments.store import MODEL_VERSION
 
@@ -45,6 +47,8 @@ def collect_golden_numbers(
     fig1 = run_fig1a(settings, verbose=False)
     fig6 = run_fig6(settings, verbose=False)
     fig7 = run_fig7(settings, verbose=False)
+    fig8 = run_fig8(settings, verbose=False)
+    homing = ablate_homing(settings, verbose=False)
     return {
         "model": MODEL_VERSION,
         "settings": {
@@ -75,4 +79,12 @@ def collect_golden_numbers(
             }
             for row in fig7.rows
         },
+        "fig8": {
+            "series": {v: float(x) for v, x in fig8.series.items()},
+            "secure_cores": {
+                variant: {app: int(c) for app, c in by_app.items()}
+                for variant, by_app in fig8.secure_cores.items()
+            },
+        },
+        "ablation_homing": {k: float(v) for k, v in homing.items()},
     }

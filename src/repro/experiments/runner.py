@@ -77,6 +77,15 @@ class ExperimentSettings:
     cache_dir: Optional[str] = None
     # Bypass store reads (still writes completed runs back).
     no_cache: bool = False
+    # Disk size cap in MB for the result store (None = unbounded);
+    # least-recently-used entries are evicted on write.
+    cache_max_mb: Optional[float] = None
+
+    @property
+    def cache_max_bytes(self) -> Optional[int]:
+        if self.cache_max_mb is None:
+            return None
+        return int(self.cache_max_mb * 1024 * 1024)
 
     def interactions_for(self, app: AppSpec) -> Optional[int]:
         return self.n_user if app.level == "user" else self.n_os
@@ -103,6 +112,7 @@ class ExperimentSettings:
             jobs=self.jobs,
             cache_dir=self.cache_dir,
             no_cache=self.no_cache,
+            cache_max_mb=self.cache_max_mb,
         )
 
     def cache_key(self, app: AppSpec, machine_name: str) -> Tuple:

@@ -50,7 +50,10 @@ SCHEMA_VERSION = 1
 #: to the timing/cache model that alters results, then refresh the
 #: golden numbers (``tools/update_goldens.py``); stored results written
 #: under the old fingerprint are invalidated automatically.
-MODEL_VERSION = "ironhide-model-2"
+#: model-3: canonical bundle-based trace materialization (per-process
+#: seeded streams replace the interleaved per-interaction RNG) and
+#: access-weighted ``Trace.concat`` instruction accounting.
+MODEL_VERSION = "ironhide-model-3"
 
 _MISS = object()
 
@@ -144,10 +147,21 @@ class StoreStats:
 
 
 class ResultStore:
-    """Two-layer (memory over optional disk) memoization of runs."""
+    """Two-layer (memory over optional disk) memoization of runs.
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+    ``max_bytes`` caps the on-disk footprint: after every write the
+    store garbage-collects least-recently-used entries (by file mtime —
+    disk hits refresh it, so reads keep entries warm) until the total
+    size fits.  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
+        self.max_bytes = max_bytes
         self._memory: Dict[Tuple, object] = {}
         self.stats = StoreStats()
 
@@ -189,10 +203,16 @@ class ResultStore:
                 raise ValueError("model fingerprint mismatch")
             if payload["key"] != _encode_key(key):
                 raise ValueError("key mismatch (collision or tampering)")
-            return decode_value(payload["value"])
+            value = decode_value(payload["value"])
         except (KeyError, TypeError, ValueError):
             self.stats.invalid += 1
             return _MISS
+        try:
+            # Refresh the LRU clock so reads protect entries from GC.
+            os.utime(path)
+        except OSError:
+            pass
+        return value
 
     # -- store -------------------------------------------------------
 
@@ -227,8 +247,52 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self.gc(keep=path)
 
     # -- maintenance -------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk entries (0 without a cache dir)."""
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return 0
+        return sum(
+            p.stat().st_size for p in self.cache_dir.rglob("*.json")
+        )
+
+    def gc(self, keep: Optional[Path] = None) -> int:
+        """Evict least-recently-used entries down to ``max_bytes``.
+
+        ``keep`` protects one path (the entry just written) from
+        eviction even if the cap is smaller than a single entry.
+        Returns the number of files removed.  mtime is the LRU clock:
+        writes create it, disk hits refresh it.
+        """
+        if self.cache_dir is None or self.max_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        for p in self.cache_dir.rglob("*.json"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime_ns, st.st_size, p))
+            total += st.st_size
+        removed = 0
+        entries.sort()  # oldest mtime first
+        for mtime, size, p in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and p == keep:
+                continue
+            try:
+                p.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
 
     def path_for(self, key: Tuple) -> Path:
         """Cache file for ``key`` (two-level fan-out by digest prefix)."""
@@ -250,11 +314,21 @@ class ResultStore:
 _STORES: Dict[Optional[str], ResultStore] = {}
 
 
-def get_store(cache_dir: Optional[os.PathLike] = None) -> ResultStore:
+def get_store(
+    cache_dir: Optional[os.PathLike] = None,
+    max_bytes: Optional[int] = None,
+) -> ResultStore:
+    """The interned store for ``cache_dir``.
+
+    ``max_bytes`` (when given) installs or updates the store's disk
+    size cap; omitting it leaves an existing cap in place.
+    """
     ident = str(Path(cache_dir).expanduser().resolve()) if cache_dir else None
     store = _STORES.get(ident)
     if store is None:
-        store = _STORES[ident] = ResultStore(cache_dir)
+        store = _STORES[ident] = ResultStore(cache_dir, max_bytes=max_bytes)
+    elif max_bytes is not None:
+        store.max_bytes = max_bytes
     return store
 
 

@@ -71,9 +71,12 @@ def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
     warm cache can never mask an equivalence regression).
     """
     if unit.app:
-        counts = settings.interactions_for(get_app(unit.app))
+        app = get_app(unit.app)
+        counts = settings.interactions_for(app)
+        trace_scale = app.trace_scale
     else:
         counts = (settings.n_user, settings.n_os)
+        trace_scale = 1.0
     return (
         unit.kind,
         unit.app,
@@ -82,6 +85,7 @@ def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
         tuple(unit.params),
         settings.config.config_hash(),
         counts,
+        trace_scale,
         settings.seed,
     )
 
@@ -128,7 +132,7 @@ def run_units(
     if jobs is None:
         jobs = settings.jobs
     units = list(units)
-    store = get_store(settings.cache_dir)
+    store = get_store(settings.cache_dir, max_bytes=settings.cache_max_bytes)
     read = cache and not settings.no_cache
 
     results: Dict[WorkUnit, object] = {}
@@ -278,18 +282,22 @@ def _run_purge_anatomy(unit: WorkUnit, settings):
     from repro.machines.mi6 import Mi6Machine
     from repro.sim.stats import ProcessStats
 
+    from repro.sim.bundle import interaction_bundle
+
     app = get_app(unit.app)
     machine = Mi6Machine(settings.config)
     sec, ins = app.processes()
     rng = np.random.default_rng(0)
     st = machine._setup(app, sec, ins, rng)
+    b_sec = interaction_bundle(app, "secure", sec, 0, 0, 4)
+    b_ins = interaction_bundle(app, "insecure", ins, 0, 0, 4)
     for i in range(3):
-        machine._interaction(app, st, sec, ins, rng, i, False, st.breakdown,
-                             ProcessStats(), ProcessStats())
+        machine._interaction(app, st, sec, ins, b_sec.segment(i), b_ins.segment(i),
+                             False, st.breakdown, ProcessStats(), ProcessStats())
     # One more producer+consumer pass, then inspect a purge directly.
-    tr = ins.interaction_trace(rng, 10)
+    tr = b_ins.segment(3)
     machine.hier.run_trace(st.ctx_insecure, tr.addrs, tr.writes)
-    tr = sec.interaction_trace(rng, 10)
+    tr = b_sec.segment(3)
     machine.hier.run_trace(st.ctx_secure, tr.addrs, tr.writes)
     report = machine.purge_model.purge(
         machine.hier,

@@ -12,8 +12,9 @@ entry/exit hooks (what each secure-boundary crossing costs).
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.secure.ipc import SharedIpcBuffer
 from repro.secure.kernel import SecureKernel
 from repro.secure.purge import PurgeModel
 from repro.secure.spectre_guard import SpectreGuard
+from repro.sim.bundle import TraceBundle, interaction_bundle
 from repro.sim.stats import Breakdown, ProcessStats, RunResult
 from repro.sim.trace import Trace
 from repro.units import cycles_from_us
@@ -57,6 +59,11 @@ class Machine(abc.ABC):
 
     name: str = "abstract"
     strong_isolation: bool = False
+    #: True when the secure entry/exit hooks mutate microarchitectural
+    #: state (MI6's per-crossing purges).  Such hooks are barriers for
+    #: the batched replay pipeline: the replay splits into per-crossing
+    #: epochs so the purge sees — and wipes — the live cache state.
+    crossing_state_hazard: bool = False
 
     def __init__(self, config: Optional[SystemConfig] = None, post_setup_warmup: int = 2):
         self.config = config or SystemConfig.tile_gx72()
@@ -89,18 +96,43 @@ class Machine(abc.ABC):
     def run(
         self, app: AppSpec, n_interactions: Optional[int] = None, seed: int = 0
     ) -> RunResult:
-        """Run the interactive application; returns the measured result."""
+        """Run the interactive application; returns the measured result.
+
+        Interaction traces are materialized once per run as cached
+        :class:`~repro.sim.bundle.TraceBundle`\\ s.  Under the scalar
+        replay engine (the reference oracle) the interactions replay
+        one at a time; under the vector engine the whole run replays
+        through the interaction-batched pipeline.  Both paths consume
+        identical bundle bytes and return bit-identical results
+        (``REPRO_NO_BATCH=1`` forces the per-interaction loop on the
+        vector engine for debugging).
+        """
         n = n_interactions if n_interactions is not None else app.n_interactions
         rng = np.random.default_rng(seed)
         sec_proc, ins_proc = app.processes()
+        self._run_seed = seed
         st = self._setup(app, sec_proc, ins_proc, rng)
         bd = st.breakdown
         sec_stats = ProcessStats(sec_proc.name, cores=st.secure_cores)
         ins_stats = ProcessStats(ins_proc.name, cores=st.insecure_cores)
-        for i in range(-self.post_setup_warmup, n):
-            self._interaction(
-                app, st, sec_proc, ins_proc, rng, i, i >= 0, bd, sec_stats, ins_stats
+        start = -self.post_setup_warmup
+        count = n - start
+        b_sec = interaction_bundle(app, "secure", sec_proc, seed, start, count)
+        b_ins = interaction_bundle(app, "insecure", ins_proc, seed, start, count)
+        if self.config.replay_engine == "vector" and not os.environ.get(
+            "REPRO_NO_BATCH"
+        ):
+            self._run_batched(
+                app, st, sec_proc, ins_proc, b_sec, b_ins, start, n,
+                bd, sec_stats, ins_stats,
             )
+        else:
+            for k, i in enumerate(range(start, n)):
+                self._interaction(
+                    app, st, sec_proc, ins_proc,
+                    b_sec.segment(k), b_ins.segment(k),
+                    i >= 0, bd, sec_stats, ins_stats,
+                )
         # One-time costs (attestation, the single reconfiguration event)
         # amortize over the application's full-scale run; the measured
         # window covers n of real_interactions of it.
@@ -119,14 +151,29 @@ class Machine(abc.ABC):
             predictor_evals=st.predictor_evals,
         )
 
+    def _warmup_bundles(
+        self,
+        app: AppSpec,
+        sec_proc: WorkloadProcess,
+        ins_proc: WorkloadProcess,
+        start: int,
+        count: int,
+    ) -> Tuple[TraceBundle, TraceBundle]:
+        """Bundles for an extra (setup-time) warm-up index range."""
+        seed = getattr(self, "_run_seed", 0)
+        return (
+            interaction_bundle(app, "secure", sec_proc, seed, start, count),
+            interaction_bundle(app, "insecure", ins_proc, seed, start, count),
+        )
+
     def _interaction(
         self,
         app: AppSpec,
         st: Setup,
         sec_proc: WorkloadProcess,
         ins_proc: WorkloadProcess,
-        rng,
-        index: int,
+        tr_sec: Trace,
+        tr_ins: Trace,
         counted: bool,
         bd: Breakdown,
         sec_stats: ProcessStats,
@@ -135,7 +182,6 @@ class Machine(abc.ABC):
         ts = app.time_scale
 
         # Insecure producer computes and posts the input message.
-        tr_ins = ins_proc.interaction_trace(rng, index)
         res_ins = self.hier.run_trace(st.ctx_insecure, tr_ins.addrs, tr_ins.writes)
         t_ins = self._process_time(res_ins, tr_ins, ins_proc, len(st.ctx_insecure.cores))
         ipc_cycles = st.ipc.send(st.ctx_insecure, app.ipc_bytes)
@@ -144,7 +190,6 @@ class Machine(abc.ABC):
 
         # Secure consumer picks the message up, computes, posts the reply.
         ipc_cycles += st.ipc.recv(st.ctx_secure, app.ipc_bytes)
-        tr_sec = sec_proc.interaction_trace(rng, index)
         res_sec = self.hier.run_trace(st.ctx_secure, tr_sec.addrs, tr_sec.writes)
         t_sec = self._process_time(res_sec, tr_sec, sec_proc, len(st.ctx_secure.cores))
         ipc_cycles += st.ipc.send(st.ctx_secure, app.ipc_reply_bytes)
@@ -160,6 +205,100 @@ class Machine(abc.ABC):
             bd.purge += entry.purge + exit_.purge
             self._accumulate(ins_stats, res_ins, t_ins * ts)
             self._accumulate(sec_stats, res_sec, t_sec * ts)
+
+    def _run_batched(
+        self,
+        app: AppSpec,
+        st: Setup,
+        sec_proc: WorkloadProcess,
+        ins_proc: WorkloadProcess,
+        b_sec: TraceBundle,
+        b_ins: TraceBundle,
+        start: int,
+        n: int,
+        bd: Breakdown,
+        sec_stats: ProcessStats,
+        ins_stats: ProcessStats,
+    ) -> None:
+        """Replay every interaction through the batched pipeline.
+
+        Builds one schedule covering the whole measured run — each
+        interaction contributes six segments (producer trace, IPC send,
+        IPC recv, consumer trace, IPC reply send, IPC reply recv) — and
+        replays it through :class:`~repro.arch.batch_replay.
+        BatchReplayer`.  Machines whose crossing hooks purge state
+        (``crossing_state_hazard``) replay per-crossing epochs with the
+        hooks in between, exactly where the per-interaction loop fires
+        them; for the others one epoch covers the entire run and the
+        (state-neutral) hooks are charged in the accounting pass.
+        """
+        from repro.arch.batch_replay import BatchReplayer, Segment
+
+        ipc = st.ipc
+        count = n - start
+        segments: List[Segment] = []
+        ops = []
+        for k in range(count):
+            tr_ins = b_ins.segment(k)
+            tr_sec = b_sec.segment(k)
+            send_ins = ipc.plan_send(st.ctx_insecure, app.ipc_bytes)
+            recv_sec = ipc.plan_recv(st.ctx_secure, app.ipc_bytes)
+            send_sec = ipc.plan_send(st.ctx_secure, app.ipc_reply_bytes)
+            recv_ins = ipc.plan_recv(st.ctx_insecure, app.ipc_reply_bytes)
+            segments.extend(
+                [
+                    Segment(st.ctx_insecure, tr_ins.addrs, tr_ins.writes),
+                    Segment(send_ins.ctx, send_ins.addrs, send_ins.writes),
+                    Segment(recv_sec.ctx, recv_sec.addrs, recv_sec.writes),
+                    Segment(st.ctx_secure, tr_sec.addrs, tr_sec.writes),
+                    Segment(send_sec.ctx, send_sec.addrs, send_sec.writes),
+                    Segment(recv_ins.ctx, recv_ins.addrs, recv_ins.writes),
+                ]
+            )
+            ops.append((tr_ins, tr_sec, send_ins, recv_sec, send_sec, recv_ins))
+
+        replayer = BatchReplayer(self.hier, segments)
+        entries: Optional[List[CrossingCost]] = None
+        exits: Optional[List[CrossingCost]] = None
+        if self.crossing_state_hazard:
+            # Purging crossings: replay pauses at each boundary so the
+            # hooks act on (and wipe) the live microarchitectural state.
+            results: List[TraceResult] = []
+            entries = []
+            exits = []
+            for k in range(count):
+                base = 6 * k
+                results.extend(replayer.run_epoch(base, base + 2))
+                entries.append(self._secure_entry(app, st))
+                results.extend(replayer.run_epoch(base + 2, base + 5))
+                exits.append(self._secure_exit(app, st))
+                results.extend(replayer.run_epoch(base + 5, base + 6))
+        else:
+            results = replayer.run_epoch(0, len(segments))
+
+        ts = app.time_scale
+        n_ins = len(st.ctx_insecure.cores)
+        n_sec = len(st.ctx_secure.cores)
+        for k, i in enumerate(range(start, n)):
+            tr_ins, tr_sec, send_ins, recv_sec, send_sec, recv_ins = ops[k]
+            base = 6 * k
+            res_ins = results[base]
+            res_sec = results[base + 3]
+            t_ins = self._process_time(res_ins, tr_ins, ins_proc, n_ins)
+            ipc_cycles = ipc.finish(send_ins, results[base + 1].mem_cycles)
+            entry = entries[k] if entries is not None else self._secure_entry(app, st)
+            ipc_cycles += ipc.finish(recv_sec, results[base + 2].mem_cycles)
+            t_sec = self._process_time(res_sec, tr_sec, sec_proc, n_sec)
+            ipc_cycles += ipc.finish(send_sec, results[base + 4].mem_cycles)
+            exit_ = exits[k] if exits is not None else self._secure_exit(app, st)
+            ipc_cycles += ipc.finish(recv_ins, results[base + 5].mem_cycles)
+            if i >= 0:
+                bd.compute += (t_ins + t_sec) * ts
+                bd.ipc += ipc_cycles
+                bd.crossing += entry.crossing + exit_.crossing
+                bd.purge += entry.purge + exit_.purge
+                self._accumulate(ins_stats, res_ins, t_ins * ts)
+                self._accumulate(sec_stats, res_sec, t_sec * ts)
 
     def _process_time(
         self,

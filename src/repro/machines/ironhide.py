@@ -94,10 +94,15 @@ class IronhideMachine(Machine):
         # Warm up at the initial binding (paper: processes start 32/32).
         throwaway_sec = ProcessStats()
         throwaway_ins = ProcessStats()
-        for k in range(self.initial_warmup):
-            self._interaction(
-                app, st, sec, ins, rng, -10_000 + k, False, bd, throwaway_sec, throwaway_ins
+        if self.initial_warmup:
+            wb_sec, wb_ins = self._warmup_bundles(
+                app, sec, ins, -10_000, self.initial_warmup
             )
+            for k in range(self.initial_warmup):
+                self._interaction(
+                    app, st, sec, ins, wb_sec.segment(k), wb_ins.segment(k),
+                    False, bd, throwaway_sec, throwaway_ins,
+                )
 
         # Calibrate, predict, reconfigure once.
         calib_sec, calib_ins = self._calibrations(app, sec, ins)

@@ -27,6 +27,9 @@ from repro.workloads.base import AppSpec, WorkloadProcess
 class Mi6Machine(Machine):
     name = "mi6"
     strong_isolation = True
+    # Every crossing purges live microarchitectural state, so the
+    # batched replay pipeline must split into per-crossing epochs.
+    crossing_state_hazard = True
 
     def _setup(self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng) -> Setup:
         plan = StaticPartitionPolicy().plan(self.config, self.mesh, self.hier.dram)

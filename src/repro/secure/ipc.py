@@ -35,6 +35,23 @@ class IpcStats:
     cycles: int = 0
 
 
+@dataclass
+class IpcOp:
+    """One planned transfer: the replay segment plus its fixed leg.
+
+    The batched replay pipeline plans a whole run's transfers up front
+    (``plan_send``/``plan_recv`` advance the ring cursors immediately),
+    replays the address streams as schedule segments, then settles each
+    op's cycle cost with :meth:`SharedIpcBuffer.finish`.
+    """
+
+    ctx: ProcessContext
+    addrs: np.ndarray
+    writes: Optional[np.ndarray]
+    size: int
+    round_trip_cycles: int
+
+
 class SharedIpcBuffer:
     """A ring buffer in shared (insecure-side) memory."""
 
@@ -67,8 +84,8 @@ class SharedIpcBuffer:
         hier.shared_frames.update(int(f) for f in frames)
         self.home_slice = home
 
-    def _transfer(self, ctx: ProcessContext, offset: int, size: int, write: bool) -> int:
-        """Replay the buffer accesses through ``ctx``'s core; returns cycles."""
+    def _plan(self, ctx: ProcessContext, offset: int, size: int, write: bool) -> IpcOp:
+        """The replay segment one transfer performs (no replay yet)."""
         if size <= 0:
             raise IPCError("IPC transfer size must be positive")
         if size > self.capacity:
@@ -77,29 +94,44 @@ class SharedIpcBuffer:
         addrs = (start + np.arange(0, size, self.line_bytes, dtype=np.int64)) % self.capacity
         writes = np.ones(len(addrs), dtype=np.int8) if write else None
         view = replace(ctx, vm=self._vm, _rr_next=0)
-        result = self.hier.run_trace(view, addrs, writes)
         # The request/response round trip to the buffer's home slice.
         hop = self.hier.config.noc.hop_latency + self.hier.config.noc.router_latency
         dist = int(self.hier.mesh.core_distances[ctx.rep_core][self.home_slice])
-        cycles = result.mem_cycles + 2 * hop * dist
+        return IpcOp(view, addrs, writes, size, 2 * hop * dist)
+
+    def plan_send(self, ctx: ProcessContext, size_bytes: int) -> IpcOp:
+        """Reserve a send: advances the ring head, returns the segment."""
+        op = self._plan(ctx, self._head, size_bytes, write=True)
+        self._head += size_bytes
+        self.stats.messages += 1
+        return op
+
+    def plan_recv(self, ctx: ProcessContext, size_bytes: int) -> IpcOp:
+        """Reserve a receive: advances the tail, returns the segment."""
+        if self._tail + size_bytes > self._head:
+            raise IPCError("IPC receive overruns unwritten data")
+        op = self._plan(ctx, self._tail, size_bytes, write=False)
+        self._tail += size_bytes
+        return op
+
+    def finish(self, op: IpcOp, mem_cycles: int) -> int:
+        """Settle a planned op given its replayed memory cycles."""
+        cycles = int(mem_cycles) + op.round_trip_cycles
         self.stats.cycles += cycles
-        self.stats.bytes_moved += size
+        self.stats.bytes_moved += op.size
         return cycles
 
     def send(self, ctx: ProcessContext, size_bytes: int) -> int:
         """Write a message into the ring; returns the cycle cost."""
-        cycles = self._transfer(ctx, self._head, size_bytes, write=True)
-        self._head += size_bytes
-        self.stats.messages += 1
-        return cycles
+        op = self.plan_send(ctx, size_bytes)
+        result = self.hier.run_trace(op.ctx, op.addrs, op.writes)
+        return self.finish(op, result.mem_cycles)
 
     def recv(self, ctx: ProcessContext, size_bytes: int) -> int:
         """Read a message out of the ring; returns the cycle cost."""
-        if self._tail + size_bytes > self._head:
-            raise IPCError("IPC receive overruns unwritten data")
-        cycles = self._transfer(ctx, self._tail, size_bytes, write=False)
-        self._tail += size_bytes
-        return cycles
+        op = self.plan_recv(ctx, size_bytes)
+        result = self.hier.run_trace(op.ctx, op.addrs, op.writes)
+        return self.finish(op, result.mem_cycles)
 
     def rehome(self, host_ctx: ProcessContext, home_slice: Optional[int] = None) -> int:
         """Move the buffer's home slice (cluster reconfiguration support).

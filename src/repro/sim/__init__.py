@@ -1,6 +1,14 @@
-"""Simulation support types: traces, statistics, run results."""
+"""Simulation support types: traces, bundles, statistics, run results."""
 
+from repro.sim.bundle import TraceBundle, clear_bundle_cache, interaction_bundle
 from repro.sim.stats import Breakdown, RunResult
 from repro.sim.trace import Trace
 
-__all__ = ["Breakdown", "RunResult", "Trace"]
+__all__ = [
+    "Breakdown",
+    "RunResult",
+    "Trace",
+    "TraceBundle",
+    "clear_bundle_cache",
+    "interaction_bundle",
+]

@@ -48,7 +48,16 @@ class Trace:
             )
         else:
             writes = None
-        ipa = float(np.mean([t.instr_per_access for t in traces]))
+        # Weight instr_per_access by each trace's access count so the
+        # concatenation's `instructions` equals the sum of the parts
+        # (an unweighted mean skews mixed-length concatenations).
+        total = len(addrs)
+        if total:
+            ipa = float(
+                sum(t.instr_per_access * len(t) for t in traces) / total
+            )
+        else:
+            ipa = float(np.mean([t.instr_per_access for t in traces]))
         return Trace(addrs, writes, ipa)
 
     def footprint_bytes(self, line_bytes: int = 64) -> int:

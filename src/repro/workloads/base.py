@@ -65,6 +65,44 @@ class WorkloadProcess(abc.ABC):
     def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
         """The memory accesses of interaction ``index``."""
 
+    def batch_traces(
+        self,
+        rng: np.random.Generator,
+        start: int,
+        count: int,
+        scale: float = 1.0,
+    ) -> "list[Trace]":
+        """Traces of interactions ``start .. start + count`` in one call.
+
+        This is the canonical generator for measured runs: the trace
+        materialization layer (:mod:`repro.sim.bundle`) calls it once
+        per run and caches the result.  ``scale`` is the
+        :attr:`AppSpec.trace_scale` knob — it multiplies the process's
+        per-interaction access count, letting experiments lengthen
+        traces without touching workload constructors.
+
+        The default implementation loops :meth:`interaction_trace`;
+        hot workloads override it with a vectorized version that emits
+        the full interaction stream in NumPy.
+        """
+        saved = None
+        if scale != 1.0:
+            base = getattr(self, "accesses", None)
+            if base is not None:
+                saved = base
+                self.accesses = max(1, int(round(base * scale)))
+        try:
+            return [
+                self.interaction_trace(rng, start + k) for k in range(count)
+            ]
+        finally:
+            if saved is not None:
+                self.accesses = saved
+
+    def scaled_accesses(self, scale: float) -> int:
+        """Per-interaction access count under a ``trace_scale`` knob."""
+        return max(1, int(round(self.accesses * scale)))
+
     def calibration_trace(
         self, rng: np.random.Generator, interactions: int = 2, start: int = 0
     ) -> Trace:
@@ -84,7 +122,15 @@ class WorkloadProcess(abc.ABC):
 
 @dataclass(frozen=True)
 class AppSpec:
-    """An interactive application: a secure/insecure process pair."""
+    """An interactive application: a secure/insecure process pair.
+
+    ``trace_scale`` multiplies each process's per-interaction access
+    count at trace-materialization time: the vector replay engine keeps
+    counters exact at any trace length, so longer representative traces
+    cost only proportionally more replay work.  It keys the trace-bundle
+    cache and the experiment result store, so scaled variants never
+    collide with the defaults.
+    """
 
     name: str
     level: str  # 'user' | 'os'
@@ -97,6 +143,7 @@ class AppSpec:
     ipc_bytes: int = 1024
     ipc_reply_bytes: int = 64
     page_scale: float = 1.0
+    trace_scale: float = 1.0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -104,6 +151,8 @@ class AppSpec:
             raise ValueError(f"bad level {self.level!r}")
         if self.n_interactions < 1:
             raise ValueError("need at least one interaction")
+        if self.trace_scale <= 0:
+            raise ValueError("trace_scale must be positive")
 
     def processes(self):
         """Fresh (secure, insecure) process instances."""

@@ -115,17 +115,50 @@ class MemcachedProcess(WorkloadProcess):
             l2_appetite_bytes=2 * MB, capacity_beta=0.50,
         )
 
+    @staticmethod
+    def _split(n: int):
+        """Sub-stream lengths of one request's access pattern."""
+        return int(n * 0.20), int(n * 0.45), int(n * 0.20), n - int(n * 0.85)
+
     def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
         n = self.accesses
         lay = self.layout
-        buckets = syn.uniform_random(rng, self.hash_table, lay.size("hash_table"), int(n * 0.20))
-        n_item = int(n * 0.45)
+        n_bucket, n_item, n_lru, n_conn = self._split(n)
+        buckets = syn.uniform_random(rng, self.hash_table, lay.size("hash_table"), n_bucket)
         bases = syn.zipf(rng, self.items, lay.size("items") // KB, KB, -(-n_item // 4), alpha=1.2)
         # Each hit streams the item value: four consecutive lines.
         item = (np.repeat(bases & ~np.int64(63), 4)
                 + np.tile(np.arange(4, dtype=np.int64) * 64, len(bases)))[:n_item]
-        lru = syn.uniform_random(rng, self.lru_meta, lay.size("lru_meta"), int(n * 0.20))
-        conn = syn.sequential(self.conn_state, lay.size("conn_state"), 8, n - int(n * 0.85))
+        lru = syn.uniform_random(rng, self.lru_meta, lay.size("lru_meta"), n_lru)
+        conn = syn.sequential(self.conn_state, lay.size("conn_state"), 8, n_conn)
         addrs = syn.interleave(buckets, item, lru, conn)
         writes = syn.write_mask(rng, len(addrs), 0.20)
         return Trace(addrs, writes, instr_per_access=3.0)
+
+    def batch_traces(self, rng, start, count, scale=1.0):
+        """Vectorized stream: every request's accesses in one NumPy pass."""
+        n = self.scaled_accesses(scale)
+        lay = self.layout
+        n_bucket, n_item, n_lru, n_conn = self._split(n)
+        n_base = -(-n_item // 4)
+        buckets = syn.uniform_random(
+            rng, self.hash_table, lay.size("hash_table"), (count, n_bucket)
+        )
+        bases = syn.zipf(
+            rng, self.items, lay.size("items") // KB, KB, (count, n_base), alpha=1.2
+        )
+        item = (
+            np.repeat(bases & ~np.int64(63), 4, axis=1)
+            + np.tile(np.arange(4, dtype=np.int64) * 64, n_base)
+        )[:, :n_item]
+        lru = syn.uniform_random(
+            rng, self.lru_meta, lay.size("lru_meta"), (count, n_lru)
+        )
+        conn = np.broadcast_to(
+            syn.sequential(self.conn_state, lay.size("conn_state"), 8, n_conn),
+            (count, n_conn),
+        )
+        pattern = syn.interleave_pattern([n_bucket, n_item, n_lru, n_conn])
+        mat = np.concatenate([buckets, item, lru, conn], axis=1)[:, pattern]
+        writes = syn.write_mask(rng, (count, len(pattern)), 0.20)
+        return [Trace(mat[k], writes[k], instr_per_access=3.0) for k in range(count)]

@@ -98,14 +98,44 @@ class OsProcess(WorkloadProcess):
             l2_appetite_bytes=420 * KB, capacity_beta=0.30,
         )
 
+    @staticmethod
+    def _split(n: int):
+        """Sub-stream lengths of one syscall batch's access pattern."""
+        return int(n * 0.20), int(n * 0.40), int(n * 0.25), n - int(n * 0.85)
+
     def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
         n = self.accesses
         lay = self.layout
-        fds = syn.uniform_random(rng, self.fd_table, lay.size("fd_table"), int(n * 0.20))
+        n_fd, n_cache, n_sock, n_kstate = self._split(n)
+        fds = syn.uniform_random(rng, self.fd_table, lay.size("fd_table"), n_fd)
         chunk_base = int(rng.integers(0, lay.size("page_cache") // (4 * KB))) * 4 * KB
-        cache = syn.sequential(self.page_cache + chunk_base, 4 * KB, 64, int(n * 0.40))
-        sock = syn.sequential(self.sock_buf, lay.size("sock_buf"), 64, int(n * 0.25))
-        kstate = syn.uniform_random(rng, self.kstate, lay.size("kstate"), n - int(n * 0.85))
+        cache = syn.sequential(self.page_cache + chunk_base, 4 * KB, 64, n_cache)
+        sock = syn.sequential(self.sock_buf, lay.size("sock_buf"), 64, n_sock)
+        kstate = syn.uniform_random(rng, self.kstate, lay.size("kstate"), n_kstate)
         addrs = syn.interleave(fds, cache, sock, kstate)
         writes = syn.write_mask(rng, len(addrs), 0.35)
         return Trace(addrs, writes, instr_per_access=3.0)
+
+    def batch_traces(self, rng, start, count, scale=1.0):
+        """Vectorized stream: every syscall batch in one NumPy pass."""
+        n = self.scaled_accesses(scale)
+        lay = self.layout
+        n_fd, n_cache, n_sock, n_kstate = self._split(n)
+        fds = syn.uniform_random(rng, self.fd_table, lay.size("fd_table"), (count, n_fd))
+        chunk_base = rng.integers(
+            0, lay.size("page_cache") // (4 * KB), size=count, dtype=np.int64
+        ) * (4 * KB)
+        cache = (
+            self.page_cache
+            + chunk_base[:, None]
+            + syn.sequential(0, 4 * KB, 64, n_cache)[None, :]
+        )
+        sock = np.broadcast_to(
+            syn.sequential(self.sock_buf, lay.size("sock_buf"), 64, n_sock),
+            (count, n_sock),
+        )
+        kstate = syn.uniform_random(rng, self.kstate, lay.size("kstate"), (count, n_kstate))
+        pattern = syn.interleave_pattern([n_fd, n_cache, n_sock, n_kstate])
+        mat = np.concatenate([fds, cache, sock, kstate], axis=1)[:, pattern]
+        writes = syn.write_mask(rng, (count, len(pattern)), 0.35)
+        return [Trace(mat[k], writes[k], instr_per_access=3.0) for k in range(count)]

@@ -30,9 +30,13 @@ def sequential(base: int, length_bytes: int, stride: int = 8, n: Optional[int] =
 
 
 def uniform_random(
-    rng: np.random.Generator, base: int, region_bytes: int, n: int, granule: int = 8
+    rng: np.random.Generator, base: int, region_bytes: int, n, granule: int = 8
 ) -> np.ndarray:
-    """Uniformly random accesses across a region (no locality)."""
+    """Uniformly random accesses across a region (no locality).
+
+    ``n`` may be a shape tuple — batched generators draw one
+    ``(interactions, accesses)`` matrix in a single call.
+    """
     slots = max(1, region_bytes // granule)
     return base + rng.integers(0, slots, size=n, dtype=np.int64) * granule
 
@@ -42,10 +46,13 @@ def zipf(
     base: int,
     n_items: int,
     item_bytes: int,
-    n: int,
+    n,
     alpha: float = 1.1,
 ) -> np.ndarray:
-    """Zipf-distributed item accesses (hot-set reuse, long cold tail)."""
+    """Zipf-distributed item accesses (hot-set reuse, long cold tail).
+
+    ``n`` may be a shape tuple (see :func:`uniform_random`).
+    """
     if n_items < 1:
         raise ValueError("need at least one item")
     ranks = rng.zipf(alpha, size=n)
@@ -163,8 +170,25 @@ def interleave(*streams: np.ndarray) -> np.ndarray:
     return out
 
 
-def write_mask(rng: np.random.Generator, n: int, write_fraction: float) -> np.ndarray:
-    """Random store flags at the requested density."""
+def interleave_pattern(lengths) -> np.ndarray:
+    """Index pattern :func:`interleave` produces for the given lengths.
+
+    Batched trace generators build every interaction's sub-streams as
+    rows of ``(count, len)`` matrices; because the per-interaction
+    stream lengths are constant, the interleave order is one fixed
+    permutation of column indices.  Computing it once and applying it
+    with a single fancy-index replaces the per-interaction Python loop.
+    """
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]]).astype(np.int64)
+    streams = [
+        np.arange(length, dtype=np.int64) + off
+        for length, off in zip(lengths, offsets)
+    ]
+    return interleave(*streams)
+
+
+def write_mask(rng: np.random.Generator, n, write_fraction: float) -> np.ndarray:
+    """Random store flags at the requested density (``n`` may be a shape)."""
     if write_fraction <= 0:
         return np.zeros(n, dtype=np.int8)
     if write_fraction >= 1:

@@ -82,16 +82,48 @@ class HttpdProcess(WorkloadProcess):
             l2_appetite_bytes=0, capacity_beta=0.0,
         )
 
+    @staticmethod
+    def _split(n: int):
+        """Sub-stream lengths of one request's access pattern."""
+        return int(n * 0.18), int(n * 0.62), n - int(n * 0.80)
+
     def interaction_trace(self, rng: np.random.Generator, index: int) -> Trace:
         n = self.accesses
         lay = self.layout
-        parse = syn.sequential(self.parse_state, lay.size("parse_state"), 8, int(n * 0.18))
+        n_parse, n_body, n_resp = self._split(n)
+        parse = syn.sequential(self.parse_state, lay.size("parse_state"), 8, n_parse)
         # An 8 KB chunk of a uniformly random file: pure streaming.
         n_files = lay.size("file_cache") // (8 * KB)
         rank = min(int(rng.zipf(1.15)), n_files) - 1
         file_base = rank * 8 * KB
-        body = syn.sequential(self.file_cache + file_base, 8 * KB, 64, int(n * 0.62))
-        resp = syn.sequential(self.resp_buf, lay.size("resp_buf"), 64, n - int(n * 0.80))
+        body = syn.sequential(self.file_cache + file_base, 8 * KB, 64, n_body)
+        resp = syn.sequential(self.resp_buf, lay.size("resp_buf"), 64, n_resp)
         addrs = syn.interleave(parse, body, resp)
         writes = syn.write_mask(rng, len(addrs), 0.15)
         return Trace(addrs, writes, instr_per_access=3.0)
+
+    def batch_traces(self, rng, start, count, scale=1.0):
+        """Vectorized stream: every request's accesses in one NumPy pass."""
+        n = self.scaled_accesses(scale)
+        lay = self.layout
+        n_parse, n_body, n_resp = self._split(n)
+        n_files = lay.size("file_cache") // (8 * KB)
+        ranks = np.minimum(rng.zipf(1.15, size=count), n_files).astype(np.int64) - 1
+        file_base = ranks * (8 * KB)
+        body = (
+            self.file_cache
+            + file_base[:, None]
+            + syn.sequential(0, 8 * KB, 64, n_body)[None, :]
+        )
+        parse = np.broadcast_to(
+            syn.sequential(self.parse_state, lay.size("parse_state"), 8, n_parse),
+            (count, n_parse),
+        )
+        resp = np.broadcast_to(
+            syn.sequential(self.resp_buf, lay.size("resp_buf"), 64, n_resp),
+            (count, n_resp),
+        )
+        pattern = syn.interleave_pattern([n_parse, n_body, n_resp])
+        mat = np.concatenate([parse, body, resp], axis=1)[:, pattern]
+        writes = syn.write_mask(rng, (count, len(pattern)), 0.15)
+        return [Trace(mat[k], writes[k], instr_per_access=3.0) for k in range(count)]

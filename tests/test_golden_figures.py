@@ -1,8 +1,9 @@
 """Golden-number regression suite (marker ``golden``, tier-1).
 
 Freezes the per-(app, machine) speedup/latency numbers of the quick
-Figure 1/6/7 runs in ``tests/golden/figures_quick.json`` and asserts
-**bit-exact** equality on both replay engines.  Any drift means the
+Figure 1/6/7/8 runs plus the homing ablation in
+``tests/golden/figures_quick.json`` and asserts **bit-exact** equality
+on both replay engines.  Any drift means the
 performance model changed: if intentional, bump
 ``repro.experiments.store.MODEL_VERSION`` and refresh with
 ``PYTHONPATH=src python tools/update_goldens.py``; if not, it is a
@@ -62,6 +63,16 @@ def test_fig7_miss_rates_bit_exact(golden, measured):
     assert set(measured["fig7"]) == set(golden["fig7"])
     for app, frozen in golden["fig7"].items():
         assert measured["fig7"][app] == frozen, app
+
+
+def test_fig8_bit_exact(golden, measured):
+    """Predictor-variant series and chosen cluster sizes stay frozen."""
+    assert measured["fig8"]["series"] == golden["fig8"]["series"]
+    assert measured["fig8"]["secure_cores"] == golden["fig8"]["secure_cores"]
+
+
+def test_ablation_homing_bit_exact(golden, measured):
+    assert measured["ablation_homing"] == golden["ablation_homing"]
 
 
 def test_whole_payload_bit_exact(golden, measured):

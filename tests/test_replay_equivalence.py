@@ -233,6 +233,52 @@ class TestFuzzEquivalence:
             pair.assert_same_state()
 
 
+class TestBatchedReplayEquivalence:
+    """``run_trace_batched`` vs the per-call loop (same engine)."""
+
+    def test_random_segments_match_per_call(self, backend, rng):
+        for trial in range(3):
+            n = int(rng.integers(1000, 6000))
+            addrs, writes = random_trace(rng, n, span=1 << 18)
+            cuts = np.sort(rng.integers(0, n, size=int(rng.integers(2, 9))))
+            bounds = [0] + cuts.tolist() + [n]
+            pair = EnginePair()
+            (hs, cs), (hv, cv) = pair.sides
+            per = [
+                hs.run_trace(cs, addrs[a:b], writes[a:b])
+                for a, b in zip(bounds[:-1], bounds[1:])
+            ]
+            bat = hv.run_trace_batched(cv, addrs, writes, bounds)
+            assert per == bat
+            pair.assert_same_state()
+
+    def test_empty_segments_and_scalar_fallback(self, backend, rng):
+        addrs, writes = random_trace(rng, 500)
+        bounds = [0, 0, 120, 120, 500]
+        pair = EnginePair()
+        (hs, cs), (hv, cv) = pair.sides
+        # The scalar engine's run_trace_batched is the per-call loop.
+        per = hs.run_trace_batched(cs, addrs, writes, bounds)
+        bat = hv.run_trace_batched(cv, addrs, writes, bounds)
+        assert per == bat
+        assert [r.accesses for r in bat] == [0, 120, 0, 380]
+        pair.assert_same_state()
+
+    def test_replicated_segments(self, backend, rng):
+        pair = EnginePair(homing="hash", replication=True, slices=list(range(16)))
+        (hs, cs), (hv, cv) = pair.sides
+        for _ in range(2):
+            addrs, writes = random_trace(rng, 3000, span=1 << 16)
+            bounds = [0, 900, 1800, 3000]
+            per = [
+                hs.run_trace(cs, addrs[a:b], writes[a:b])
+                for a, b in zip(bounds[:-1], bounds[1:])
+            ]
+            bat = hv.run_trace_batched(cv, addrs, writes, bounds)
+            assert per == bat
+            pair.assert_same_state()
+
+
 class TestMachineEquivalence:
     @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
     def test_full_machine_runs_identical(self, backend, machine):
@@ -247,3 +293,43 @@ class TestMachineEquivalence:
             )
             results[engine] = run_one(get_app("<AES, QUERY>"), machine, settings)
         assert results["scalar"] == results["vector"]
+
+    @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
+    def test_fig6_mix_batched_identical(self, machine, calibration_cache):
+        """Scalar per-interaction loop vs batched vector pipeline over
+        the full Fig. 6 application mix, for every machine.
+
+        This is the acceptance gate for the interaction-batched replay
+        path: whole `Machine.run` results — breakdowns, per-process
+        cache stats, predictor decisions — must be bit-identical.
+        """
+        from repro.workloads import APPS
+
+        for app in APPS:
+            results = {}
+            for engine in ("scalar", "vector"):
+                settings = ExperimentSettings(
+                    config=SystemConfig.evaluation().with_engine(engine),
+                    n_user=2,
+                    n_os=4,
+                    calibration_cache=calibration_cache,
+                )
+                results[engine] = run_one(app, machine, settings)
+            assert results["scalar"] == results["vector"], app.name
+
+    def test_batched_vs_forced_loop_same_engine(self, monkeypatch):
+        """REPRO_NO_BATCH pins the batched path against the
+        per-interaction loop on the *same* (vector) engine."""
+        results = {}
+        for key, env in (("batched", ""), ("loop", "1")):
+            if env:
+                monkeypatch.setenv("REPRO_NO_BATCH", env)
+            else:
+                monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+            settings = ExperimentSettings(
+                config=SystemConfig.evaluation().with_engine("vector"),
+                n_user=3,
+                n_os=6,
+            )
+            results[key] = run_one(get_app("<MEMCACHED, OS>"), "mi6", settings)
+        assert results["batched"] == results["loop"]

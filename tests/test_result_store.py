@@ -191,11 +191,87 @@ class TestNoCache:
         assert len(calls) == 2  # normal settings hit what no_cache wrote
 
 
+class TestEviction:
+    """--cache-max-mb: LRU-by-mtime GC keeps the disk footprint capped."""
+
+    @staticmethod
+    def _sized_store(tmp_path, n_entries, max_bytes=None, payload_words=200):
+        import os
+        import time
+
+        store = ResultStore(tmp_path, max_bytes=max_bytes)
+        keys = []
+        for i in range(n_entries):
+            key = ("evict-test", i)
+            store.put(key, {"i": i, "pad": ["x" * 8] * payload_words})
+            # Distinct mtimes so the LRU order is unambiguous on
+            # filesystems with coarse timestamps.
+            path = store.path_for(key)
+            stamp = time.time() - (n_entries - i) * 10
+            os.utime(path, (stamp, stamp))
+            keys.append(key)
+        return store, keys
+
+    def test_cap_enforced_on_write(self, tmp_path):
+        store, _ = self._sized_store(tmp_path, 6)
+        per_entry = store.disk_bytes() // 6
+        capped = ResultStore(tmp_path, max_bytes=3 * per_entry + per_entry // 2)
+        capped.put(("evict-test", "new"), {"pad": ["x" * 8] * 200})
+        assert capped.disk_bytes() <= capped.max_bytes
+        # The just-written entry always survives.
+        assert ResultStore(tmp_path).get(("evict-test", "new")) is not None
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        store, keys = self._sized_store(tmp_path, 6)
+        per_entry = store.disk_bytes() // 6
+        capped = ResultStore(tmp_path, max_bytes=4 * per_entry + per_entry // 2)
+        removed = capped.gc()
+        assert removed == 2
+        fresh = ResultStore(tmp_path)
+        for key in keys[:2]:  # oldest mtimes gone
+            assert fresh.get(key) is None
+        for key in keys[2:]:
+            assert fresh.get(key) is not None
+
+    def test_reads_refresh_lru_clock(self, tmp_path):
+        store, keys = self._sized_store(tmp_path, 6)
+        per_entry = store.disk_bytes() // 6
+        capped = ResultStore(tmp_path, max_bytes=4 * per_entry + per_entry // 2)
+        # Touch the globally-oldest entry through a disk read ...
+        assert capped.get(keys[0]) is not None
+        capped.gc()
+        fresh = ResultStore(tmp_path)
+        # ... so eviction takes the next-oldest two instead.
+        assert fresh.get(keys[0]) is not None
+        assert fresh.get(keys[1]) is None
+        assert fresh.get(keys[2]) is None
+
+    def test_no_cap_means_no_gc(self, tmp_path):
+        store, keys = self._sized_store(tmp_path, 4)
+        assert store.gc() == 0
+        assert all(ResultStore(tmp_path).get(k) is not None for k in keys)
+
+    def test_settings_wire_cap_through_sweep(self, tmp_path):
+        from repro.experiments.sweep import run_units
+
+        settings = ExperimentSettings(
+            n_user=2, n_os=4, cache_dir=str(tmp_path), cache_max_mb=0.25
+        )
+        run_units([pair_unit("<AES, QUERY>", "insecure")], settings)
+        assert get_store(str(tmp_path)).max_bytes == int(0.25 * 1024 * 1024)
+
+
 class TestStoreInterning:
     def test_get_store_interns_per_directory(self, tmp_path):
         assert get_store(str(tmp_path)) is get_store(str(tmp_path))
         assert get_store(None) is get_store(None)
         assert get_store(str(tmp_path)) is not get_store(None)
+
+    def test_get_store_updates_cap(self, tmp_path):
+        store = get_store(str(tmp_path), max_bytes=1000)
+        assert get_store(str(tmp_path)).max_bytes == 1000
+        get_store(str(tmp_path), max_bytes=2000)
+        assert store.max_bytes == 2000
 
     def test_clear_result_cache_keeps_disk(self, tmp_path, sample_result):
         store = get_store(str(tmp_path))

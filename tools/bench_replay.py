@@ -10,14 +10,22 @@ reports events/second plus the vector/scalar speedup.
 With ``--store`` it additionally benchmarks the persistent result
 store: the Fig. 6 pair matrix cold (all misses), warm in-memory, and
 warm from disk (fresh process image simulated by dropping the memory
-layer), reporting hit/miss counts.  ``--json PATH`` snapshots every
-number so the perf trajectory accumulates across PRs
-(``BENCH_replay.json`` at the repo root is the checked-in baseline).
+layer), reporting hit/miss counts.  With ``--e2e`` it measures the
+cold end-to-end ``fig6 --quick`` wall time on both engines (result
+store and trace-bundle caches cleared per run), which exercises the
+interaction-batched replay pipeline the vector engine drives.
+
+``--json PATH`` snapshots every number (``BENCH_replay.json`` at the
+repo root is the checked-in baseline); ``--history PATH`` additionally
+appends a timestamped snapshot line so per-PR perf trends accumulate.
+``--check`` re-measures and exits non-zero if replay throughput or the
+e2e time regressed more than 25% against the checked-in baseline.
 
 Usage:
     PYTHONPATH=src python tools/bench_replay.py [--user N] [--os N]
                                                 [--repeats K] [--store]
-                                                [--json PATH]
+                                                [--e2e] [--json PATH]
+                                                [--history PATH] [--check]
 
 Exit status is non-zero if the engines disagree on any counter, so the
 script doubles as a CI smoke check for the equivalence guarantee.
@@ -31,6 +39,7 @@ import shutil
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -39,6 +48,9 @@ from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
 from repro.config import SystemConfig
 from repro.experiments.reporting import print_stats
 from repro.workloads import APPS
+
+#: Allowed relative slowdown before ``--check`` fails.
+REGRESSION_THRESHOLD = 0.25
 
 
 def build_mix(n_user: int, n_os: int):
@@ -109,6 +121,79 @@ def bench_store(n_user: int, n_os: int) -> dict:
     return out
 
 
+def bench_e2e(repeats: int = 2) -> dict:
+    """Cold end-to-end ``fig6 --quick`` wall time per engine.
+
+    Every run starts from scratch: interned result stores and the
+    trace-bundle cache are dropped, and the quick settings carry a
+    fresh calibration cache — so the measurement covers trace
+    generation, calibration and replay, exactly what a cold CLI
+    invocation pays.
+    """
+    from repro.experiments import store as store_mod
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.golden import quick_settings
+    from repro.sim.bundle import clear_bundle_cache
+
+    out = {}
+    for engine in ("scalar", "vector"):
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            store_mod.reset_stores()
+            clear_bundle_cache()
+            settings = quick_settings(engine)
+            start = time.perf_counter()
+            run_fig6(settings, verbose=False)
+            best = min(best, time.perf_counter() - start)
+        out[f"{engine}_s"] = round(best, 4)
+        print(f"  e2e fig6 --quick cold [{engine:7s}] {best:6.2f} s")
+    store_mod.reset_stores()
+    clear_bundle_cache()
+    out["speedup"] = out["scalar_s"] / out["vector_s"]
+    print(f"  e2e speedup {out['speedup']:.2f}x (vector batched over scalar loop)")
+    return out
+
+
+def append_history(history_path: str, snapshot: dict) -> None:
+    """Append one timestamped snapshot line (JSONL trajectory)."""
+    from repro.experiments.store import MODEL_VERSION
+
+    line = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "model": MODEL_VERSION,
+        **snapshot,
+    }
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"  appended snapshot to {history_path}")
+
+
+def check_regressions(baseline: dict, current: dict) -> "list[str]":
+    """Compare a fresh measurement against the checked-in baseline.
+
+    Returns human-readable failure strings for every metric that
+    regressed beyond :data:`REGRESSION_THRESHOLD` (empty = pass).
+    """
+    failures = []
+    base_tp = baseline.get("accesses_per_s", {}).get("vector")
+    cur_tp = current.get("accesses_per_s", {}).get("vector")
+    if base_tp and cur_tp and cur_tp < base_tp * (1.0 - REGRESSION_THRESHOLD):
+        failures.append(
+            f"vector replay throughput {cur_tp / 1e6:.2f} M/s is "
+            f"{(1 - cur_tp / base_tp) * 100:.0f}% below baseline "
+            f"{base_tp / 1e6:.2f} M/s"
+        )
+    base_e2e = baseline.get("e2e", {}).get("vector_s")
+    cur_e2e = current.get("e2e", {}).get("vector_s")
+    if base_e2e and cur_e2e and cur_e2e > base_e2e * (1.0 + REGRESSION_THRESHOLD):
+        failures.append(
+            f"cold fig6 --quick e2e {cur_e2e:.2f}s is "
+            f"{(cur_e2e / base_e2e - 1) * 100:.0f}% above baseline "
+            f"{base_e2e:.2f}s"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--user", type=int, default=4,
@@ -119,9 +204,22 @@ def main(argv=None) -> int:
                         help="timed repetitions; the best run is reported")
     parser.add_argument("--store", action="store_true",
                         help="also benchmark the persistent result store")
+    parser.add_argument("--e2e", action="store_true",
+                        help="also measure cold fig6 --quick end to end")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write a machine-readable metrics snapshot here")
+    parser.add_argument("--history", dest="history_path", default=None,
+                        help="append a timestamped snapshot line (JSONL)")
+    parser.add_argument("--check", dest="check_path", nargs="?", default=None,
+                        const=str(Path(__file__).resolve().parent.parent
+                                  / "BENCH_replay.json"),
+                        help="fail if throughput or e2e regressed >25%% vs "
+                             "this baseline (default: repo BENCH_replay.json)")
     args = parser.parse_args(argv)
+
+    if args.check_path and not Path(args.check_path).exists():
+        print(f"ERROR: no baseline at {args.check_path}", file=sys.stderr)
+        return 1
 
     mix = build_mix(args.user, args.n_os)
     accesses = sum(len(tr) for _, traces in mix for tr in traces)
@@ -157,28 +255,53 @@ def main(argv=None) -> int:
 
     store_metrics = bench_store(args.user, args.n_os) if args.store else None
 
+    snapshot = {
+        "mix": {
+            "user": args.user,
+            "os": args.n_os,
+            "streams": len(mix),
+            "accesses": accesses,
+            "events": events,
+        },
+        "backend": backend,
+        "seconds": {engine: timings[engine] for engine in timings},
+        "accesses_per_s": {
+            engine: accesses / timings[engine] for engine in timings
+        },
+        "speedup": speedup,
+    }
+    if store_metrics is not None:
+        snapshot["store"] = store_metrics
+
+    if args.check_path:
+        with open(args.check_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        if baseline.get("e2e") or args.e2e:
+            snapshot["e2e"] = bench_e2e(repeats=2)
+        if not baseline.get("e2e"):
+            print("WARNING: baseline has no 'e2e' section — end-to-end "
+                  "regressions are NOT guarded; refresh it with "
+                  "run_tiers.py --bench", file=sys.stderr)
+        if not baseline.get("accesses_per_s", {}).get("vector"):
+            print("WARNING: baseline has no vector throughput — replay "
+                  "regressions are NOT guarded", file=sys.stderr)
+        failures = check_regressions(baseline, snapshot)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"  no perf regression vs {args.check_path} "
+              f"(threshold {REGRESSION_THRESHOLD:.0%})")
+    elif args.e2e:
+        snapshot["e2e"] = bench_e2e()
+
     if args.json_path:
-        snapshot = {
-            "mix": {
-                "user": args.user,
-                "os": args.n_os,
-                "streams": len(mix),
-                "accesses": accesses,
-                "events": events,
-            },
-            "backend": backend,
-            "seconds": {engine: timings[engine] for engine in timings},
-            "accesses_per_s": {
-                engine: accesses / timings[engine] for engine in timings
-            },
-            "speedup": speedup,
-        }
-        if store_metrics is not None:
-            snapshot["store"] = store_metrics
         with open(args.json_path, "w", encoding="utf-8") as fh:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"  wrote {args.json_path}")
+    if args.history_path:
+        append_history(args.history_path, snapshot)
     return 0
 
 

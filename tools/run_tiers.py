@@ -4,12 +4,18 @@
 Tier-1 is the full suite (``pytest -x -q``) — the bar every PR must
 hold.  The ``golden`` and ``equivalence`` markers are then run on
 their own so a regression in either regression suite is reported by
-name even though both already ran inside tier-1.  With ``--bench`` the
-replay benchmark records a fresh ``BENCH_replay.json`` snapshot at the
-repo root so the perf trajectory keeps accumulating.
+name even though both already ran inside tier-1.
+
+Perf is guarded too: unless ``--skip-bench-check`` is given, a final
+phase runs ``bench_replay.py --check``, which fails if replay
+throughput or the cold ``fig6 --quick`` end-to-end time regressed >25%
+against the checked-in ``BENCH_replay.json``.  With ``--bench`` the
+benchmark instead records a fresh ``BENCH_replay.json`` snapshot
+(including the e2e numbers) and appends a timestamped line to
+``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
 
 Usage:
-    python tools/run_tiers.py [--bench] [--skip-tier1]
+    python tools/run_tiers.py [--bench] [--skip-tier1] [--skip-bench-check]
 """
 
 from __future__ import annotations
@@ -48,9 +54,11 @@ def run_phase(name: str, argv) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", action="store_true",
-                        help="record a BENCH_replay.json snapshot too")
+                        help="record fresh BENCH_replay.json + history snapshots")
     parser.add_argument("--skip-tier1", action="store_true",
                         help="run only the marker suites (fast re-check)")
+    parser.add_argument("--skip-bench-check", action="store_true",
+                        help="skip the perf-regression gate")
     args = parser.parse_args(argv)
 
     phases = []
@@ -64,8 +72,18 @@ def main(argv=None) -> int:
         phases.append(
             run_phase(
                 "bench",
-                [str(REPO / "tools" / "bench_replay.py"), "--store",
-                 "--json", str(REPO / "BENCH_replay.json")],
+                [str(REPO / "tools" / "bench_replay.py"), "--store", "--e2e",
+                 "--json", str(REPO / "BENCH_replay.json"),
+                 "--history", str(REPO / "BENCH_history.jsonl")],
+            )
+        )
+    elif not args.skip_bench_check:
+        print("\n=== bench-check ===")
+        phases.append(
+            run_phase(
+                "bench-check",
+                [str(REPO / "tools" / "bench_replay.py"), "--check",
+                 "--repeats", "2"],
             )
         )
 
