@@ -98,6 +98,12 @@ class SetAssocCache:
     by the line size).  The set index uses the low bits of the line id.
     Each set is a list ordered most-recently-used first; entries are
     ``[tag, dirty]`` pairs.
+
+    Occupancy (valid and dirty line counts) is tracked incrementally on
+    every access, so the purge models read it in O(1) instead of
+    scanning every set — the same contract every cache backend
+    implements (see :class:`repro.arch.vector_cache.VectorCache` and
+    :class:`repro.arch.native.NativeCache`).
     """
 
     def __init__(self, config: CacheConfig, name: str = "cache"):
@@ -107,6 +113,8 @@ class SetAssocCache:
         self.assoc = config.associativity
         self._set_mask = self.n_sets - 1
         self._sets: List[List[List[int]]] = [[] for _ in range(self.n_sets)]
+        self._valid_count = 0
+        self._dirty_count = 0
         self.stats = CacheStats()
 
     def access(self, line_id: int, is_write: bool) -> bool:
@@ -121,8 +129,9 @@ class SetAssocCache:
         for i, entry in enumerate(cset):
             if entry[0] == tag:
                 stats.hits += 1
-                if is_write:
+                if is_write and not entry[1]:
                     entry[1] = 1
+                    self._dirty_count += 1
                 if i:
                     cset.insert(0, cset.pop(i))
                 return True
@@ -132,6 +141,11 @@ class SetAssocCache:
             stats.evictions += 1
             if victim[1]:
                 stats.writebacks += 1
+                self._dirty_count -= 1
+        else:
+            self._valid_count += 1
+        if is_write:
+            self._dirty_count += 1
         cset.insert(0, [tag, 1 if is_write else 0])
         return False
 
@@ -153,11 +167,13 @@ class SetAssocCache:
 
     @property
     def valid_lines(self) -> int:
-        return sum(len(s) for s in self._sets)
+        """Resident line count (incrementally tracked, O(1))."""
+        return self._valid_count
 
     @property
     def dirty_lines(self) -> int:
-        return sum(1 for s in self._sets for entry in s if entry[1])
+        """Modified-line count (incrementally tracked, O(1))."""
+        return self._dirty_count
 
     def resident_lines(self) -> List[int]:
         """All line ids currently cached (diagnostics and attacks)."""
@@ -165,14 +181,14 @@ class SetAssocCache:
 
     def invalidate_all(self) -> Tuple[int, int]:
         """Flush-and-invalidate; returns (valid, dirty) line counts."""
-        valid = 0
-        dirty = 0
-        for s in self._sets:
-            valid += len(s)
-            for entry in s:
-                if entry[1]:
-                    dirty += 1
-            s.clear()
+        valid = self._valid_count
+        dirty = self._dirty_count
+        if valid:
+            for s in self._sets:
+                if s:
+                    s.clear()
+        self._valid_count = 0
+        self._dirty_count = 0
         self.stats.invalidations += valid
         self.stats.flushes += 1
         self.stats.writebacks += dirty
@@ -183,13 +199,15 @@ class SetAssocCache:
 
         Models ``tmc_mem_fence_node``: modified data homed at a memory
         controller is written back to DRAM, leaving the lines valid.
+        A clean cache returns immediately off the occupancy counter.
         """
-        dirty = 0
-        for s in self._sets:
-            for entry in s:
-                if entry[1]:
-                    dirty += 1
-                    entry[1] = 0
+        dirty = self._dirty_count
+        if dirty:
+            for s in self._sets:
+                for entry in s:
+                    if entry[1]:
+                        entry[1] = 0
+            self._dirty_count = 0
         self.stats.writebacks += dirty
         return dirty
 
@@ -200,10 +218,26 @@ class SetAssocCache:
             if entry[0] == line_id:
                 if entry[1]:
                     self.stats.writebacks += 1
+                    self._dirty_count -= 1
                 del cset[i]
+                self._valid_count -= 1
                 self.stats.evictions += 1
                 return True
         return False
+
+    def evict_line_range(self, base_line: int, count: int) -> int:
+        """Evict every resident line in ``[base_line, base_line+count)``.
+
+        One call per physical frame replaces the per-line
+        :meth:`evict_line` loop on the page re-homing / migration path;
+        stats and occupancy bookkeeping are identical to calling
+        :meth:`evict_line` once per line.  Returns lines evicted.
+        """
+        evicted = 0
+        for line_id in range(base_line, base_line + count):
+            if self.evict_line(line_id):
+                evicted += 1
+        return evicted
 
     def fill_set(self, set_index: int, tag_base: int) -> List[int]:
         """Fill one set with attacker-controlled lines (Prime+Probe).

@@ -146,6 +146,35 @@ class TraceResult:
         total = self.l2_accesses
         return self.l2_misses / total if total else 0.0
 
+    def as_payload(self) -> Dict:
+        """JSON-ready dict (all ints; ``mc_requests`` keys as strings).
+
+        Used to persist calibration probe results in the experiment
+        :class:`~repro.experiments.store.ResultStore`;
+        :meth:`from_payload` round-trips bit-exactly.
+        """
+        return {
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "tlb_misses": self.tlb_misses,
+            "l1_writebacks": self.l1_writebacks,
+            "l2_writebacks": self.l2_writebacks,
+            "mem_cycles": self.mem_cycles,
+            "mc_requests": {str(mc): n for mc, n in self.mc_requests.items()},
+        }
+
+    @staticmethod
+    def from_payload(data: Dict) -> "TraceResult":
+        """Rebuild a result from :meth:`as_payload` output."""
+        fields_ = dict(data)
+        fields_["mc_requests"] = {
+            int(mc): n for mc, n in data["mc_requests"].items()
+        }
+        return TraceResult(**fields_)
+
     def merge(self, other: "TraceResult") -> None:
         self.accesses += other.accesses
         self.l1_hits += other.l1_hits
@@ -287,16 +316,18 @@ class MemoryHierarchy:
         return evicted
 
     def _evict_frame_lines(self, home: int, frame: int) -> int:
-        """Evict one frame's resident lines from its home slice."""
+        """Evict one frame's resident lines from its home slice.
+
+        One ``evict_line_range`` call per frame: every backend
+        implements the range eviction with stats identical to a
+        per-line :meth:`~repro.arch.cache.SetAssocCache.evict_line`
+        loop, but without the per-line Python overhead.
+        """
         if home < 0 or home not in self._l2:
             return 0
         cache = self._l2[home]
         base = frame * self._lines_per_page
-        evicted = 0
-        for line in range(base, base + self._lines_per_page):
-            if cache.evict_line(line):
-                evicted += 1
-        return evicted
+        return cache.evict_line_range(base, self._lines_per_page)
 
     def _replicating_contexts(self) -> List[ProcessContext]:
         """Live registered contexts with replica state (prunes dead refs)."""
@@ -771,8 +802,20 @@ class MemoryHierarchy:
         }
 
     def clean_l2(self, slices: Sequence[int]) -> int:
-        """Write back dirty data in the given slices; returns line count."""
-        return sum(self._l2[s].clean_all() for s in slices if s in self._l2)
+        """Write back dirty data in the given slices; returns line count.
+
+        Slices that are absent or hold no modified data are skipped via
+        the caches' O(1) dirty-occupancy counters — the purge models
+        call this on every crossing, so the common all-clean case costs
+        one counter read per slice instead of a cache scan.
+        """
+        l2 = self._l2
+        total = 0
+        for s in slices:
+            cache = l2.get(s)
+            if cache is not None and cache.dirty_lines:
+                total += cache.clean_all()
+        return total
 
     def l2_dirty_lines(self, slices: Sequence[int]) -> int:
         return sum(self._l2[s].dirty_lines for s in slices if s in self._l2)

@@ -53,7 +53,14 @@ typedef int8_t  i8;
 /* LRU set-associative cache access over tag/dirty/age matrices.
  * tags[set*assoc + way] == -1 marks an empty way.  On a hit the age is
  * restamped; on a miss the first empty way (or the minimum-age victim)
- * is (re)filled.  stats_out = {evictions, writebacks}.
+ * is (re)filled.
+ *
+ * Every kernel reports stats_out = {evictions, writebacks, n_wb,
+ * dirtied}: `dirtied` counts clean->dirty transitions plus dirty
+ * fills, so the caller can maintain the cache's dirty-line occupancy
+ * incrementally (dirty_delta = dirtied - writebacks) and the purge
+ * models never have to scan the matrices.  `n_wb` is only meaningful
+ * for the _wb variants (0 otherwise).
  *
  * l1_filter: records the indices of missing events in miss_pos and
  * returns how many there were.
@@ -63,7 +70,7 @@ typedef int8_t  i8;
 static inline i64 do_access(i64 line, i8 w,
                             i64 *tags, i8 *dirty, i64 *age,
                             i64 *clock, i64 set_mask, i64 assoc,
-                            i64 *evictions, i64 *writebacks)
+                            i64 *evictions, i64 *writebacks, i64 *dirtied)
 {
     i64 base = (line & set_mask) * assoc;
     i64 hit_way = -1, empty_way = -1;
@@ -74,6 +81,7 @@ static inline i64 do_access(i64 line, i8 w,
     }
     if (hit_way >= 0) {
         age[base + hit_way] = ++(*clock);
+        if (w && !dirty[base + hit_way]) (*dirtied)++;
         dirty[base + hit_way] |= w;
         return 1;
     }
@@ -88,6 +96,7 @@ static inline i64 do_access(i64 line, i8 w,
     }
     tags[base + slot] = line;
     dirty[base + slot] = w;
+    if (w) (*dirtied)++;
     age[base + slot] = ++(*clock);
     return 0;
 }
@@ -98,14 +107,17 @@ i64 l1_filter(i64 n, const i64 *lines, const i8 *writes,
               i64 *miss_pos, i64 *stats_out)
 {
     i64 clock = *clock_io, n_miss = 0, evictions = 0, writebacks = 0;
+    i64 dirtied = 0;
     for (i64 k = 0; k < n; k++) {
         if (!do_access(lines[k], writes[k], tags, dirty, age, &clock,
-                       set_mask, assoc, &evictions, &writebacks))
+                       set_mask, assoc, &evictions, &writebacks, &dirtied))
             miss_pos[n_miss++] = k;
     }
     *clock_io = clock;
     stats_out[0] = evictions;
     stats_out[1] = writebacks;
+    stats_out[2] = 0;
+    stats_out[3] = dirtied;
     return n_miss;
 }
 
@@ -115,15 +127,18 @@ i64 l2_flags(i64 n, const i64 *lines, const i8 *writes,
              i8 *flags, i64 *stats_out)
 {
     i64 clock = *clock_io, hits = 0, evictions = 0, writebacks = 0;
+    i64 dirtied = 0;
     for (i64 k = 0; k < n; k++) {
         i64 h = do_access(lines[k], writes[k], tags, dirty, age, &clock,
-                          set_mask, assoc, &evictions, &writebacks);
+                          set_mask, assoc, &evictions, &writebacks, &dirtied);
         flags[k] = (i8)h;
         hits += h;
     }
     *clock_io = clock;
     stats_out[0] = evictions;
     stats_out[1] = writebacks;
+    stats_out[2] = 0;
+    stats_out[3] = dirtied;
     return hits;
 }
 
@@ -137,10 +152,11 @@ i64 l1_filter_wb(i64 n, const i64 *lines, const i8 *writes,
                  i64 *miss_pos, i64 *wb_pos, i64 *stats_out)
 {
     i64 clock = *clock_io, n_miss = 0, n_wb = 0, evictions = 0, writebacks = 0;
+    i64 dirtied = 0;
     for (i64 k = 0; k < n; k++) {
         i64 wb_before = writebacks;
         if (!do_access(lines[k], writes[k], tags, dirty, age, &clock,
-                       set_mask, assoc, &evictions, &writebacks))
+                       set_mask, assoc, &evictions, &writebacks, &dirtied))
             miss_pos[n_miss++] = k;
         if (writebacks != wb_before)
             wb_pos[n_wb++] = k;
@@ -149,6 +165,7 @@ i64 l1_filter_wb(i64 n, const i64 *lines, const i8 *writes,
     stats_out[0] = evictions;
     stats_out[1] = writebacks;
     stats_out[2] = n_wb;
+    stats_out[3] = dirtied;
     return n_miss;
 }
 
@@ -158,10 +175,11 @@ i64 l2_flags_wb(i64 n, const i64 *lines, const i8 *writes,
                 i8 *flags, i64 *wb_pos, i64 *stats_out)
 {
     i64 clock = *clock_io, hits = 0, n_wb = 0, evictions = 0, writebacks = 0;
+    i64 dirtied = 0;
     for (i64 k = 0; k < n; k++) {
         i64 wb_before = writebacks;
         i64 h = do_access(lines[k], writes[k], tags, dirty, age, &clock,
-                          set_mask, assoc, &evictions, &writebacks);
+                          set_mask, assoc, &evictions, &writebacks, &dirtied);
         flags[k] = (i8)h;
         hits += h;
         if (writebacks != wb_before)
@@ -171,7 +189,52 @@ i64 l2_flags_wb(i64 n, const i64 *lines, const i8 *writes,
     stats_out[0] = evictions;
     stats_out[1] = writebacks;
     stats_out[2] = n_wb;
+    stats_out[3] = dirtied;
     return hits;
+}
+
+/* Multi-slice variant: one call services the whole home-sorted miss
+ * stream of an epoch.  Part p covers stream positions
+ * [bounds[p], bounds[p+1]) and replays through the slice whose state
+ * buffers are at tags_ptrs[p]/dirty_ptrs[p]/age_ptrs[p]/clock_ptrs[p]
+ * (raw addresses, one entry per part).  Per part, stats4[4p..4p+3] =
+ * {evictions, writebacks, hits, dirtied}; wb_pos collects the
+ * positions (into the sorted stream) of dirty-line writebacks across
+ * all parts; returns their count.  Bit-identical to one l2_flags_wb
+ * call per part. */
+
+i64 l2_flags_wb_multi(i64 n_parts, const i64 *bounds,
+                      const i64 *tags_ptrs, const i64 *dirty_ptrs,
+                      const i64 *age_ptrs, const i64 *clock_ptrs,
+                      const i64 *lines, const i8 *writes,
+                      i64 set_mask, i64 assoc,
+                      i8 *flags, i64 *wb_pos, i64 *stats4)
+{
+    i64 total_wb = 0;
+    for (i64 p = 0; p < n_parts; p++) {
+        i64 *tags = (i64 *)tags_ptrs[p];
+        i8  *dirty = (i8 *)dirty_ptrs[p];
+        i64 *age = (i64 *)age_ptrs[p];
+        i64 *clock_io = (i64 *)clock_ptrs[p];
+        i64 clock = *clock_io;
+        i64 hits = 0, evictions = 0, writebacks = 0, dirtied = 0;
+        for (i64 k = bounds[p]; k < bounds[p + 1]; k++) {
+            i64 wb_before = writebacks;
+            i64 h = do_access(lines[k], writes[k], tags, dirty, age, &clock,
+                              set_mask, assoc, &evictions, &writebacks,
+                              &dirtied);
+            flags[k] = (i8)h;
+            hits += h;
+            if (writebacks != wb_before)
+                wb_pos[total_wb++] = k;
+        }
+        *clock_io = clock;
+        stats4[4 * p + 0] = evictions;
+        stats4[4 * p + 1] = writebacks;
+        stats4[4 * p + 2] = hits;
+        stats4[4 * p + 3] = dirtied;
+    }
+    return total_wb;
 }
 
 /* Fully-associative LRU TLB over page-change events.  entries/age are
@@ -266,6 +329,10 @@ def _load() -> Optional[ctypes.CDLL]:
     for fn in (lib.l1_filter_wb, lib.l2_flags_wb):
         fn.restype = i64
         fn.argtypes = [i64, ptr, ptr, ptr, ptr, ptr, ptr, i64, i64, ptr, ptr, ptr]
+    lib.l2_flags_wb_multi.restype = i64
+    lib.l2_flags_wb_multi.argtypes = [
+        i64, ptr, ptr, ptr, ptr, ptr, ptr, ptr, i64, i64, ptr, ptr, ptr
+    ]
     lib.tlb_misses.restype = i64
     lib.tlb_misses.argtypes = [i64, ptr, ptr, ptr, ptr, i64]
     lib.tlb_flags.restype = i64
@@ -315,7 +382,12 @@ class NativeCache:
         self.dirty = np.zeros(self.n_sets * self.assoc, dtype=np.int8)
         self.age = np.zeros(self.n_sets * self.assoc, dtype=np.int64)
         self._clock = np.zeros(1, dtype=np.int64)
-        self._stats_out = np.zeros(3, dtype=np.int64)
+        # {evictions, writebacks, n_wb, dirtied} as reported per batch.
+        self._stats_out = np.zeros(4, dtype=np.int64)
+        # Occupancy counters, maintained from the kernels' stats so the
+        # purge models never scan the matrices.
+        self._valid_count = 0
+        self._dirty_count = 0
         self.stats = CacheStats()
         # The state buffers are never reallocated (fill() mutates in
         # place), so their raw addresses can be cached once.
@@ -346,8 +418,7 @@ class NativeCache:
         st = self.stats
         st.hits += n - n_miss
         st.misses += n_miss
-        st.evictions += int(self._stats_out[0])
-        st.writebacks += int(self._stats_out[1])
+        self._fold_batch_stats(st, n_miss)
         return miss_pos[:n_miss]
 
     def kernel_hit_flags(self, lines: np.ndarray, writes: np.ndarray) -> np.ndarray:
@@ -364,9 +435,23 @@ class NativeCache:
         st = self.stats
         st.hits += int(hits)
         st.misses += n - int(hits)
-        st.evictions += int(self._stats_out[0])
-        st.writebacks += int(self._stats_out[1])
+        self._fold_batch_stats(st, n - int(hits))
         return flags
+
+    def _fold_batch_stats(self, st: CacheStats, n_miss: int) -> None:
+        """Fold one kernel call's ``stats_out`` into stats + occupancy.
+
+        Every miss fills one way and every eviction frees one, so the
+        valid delta is ``n_miss - evictions``; the dirty delta is
+        ``dirtied - writebacks`` (see the C source).
+        """
+        out = self._stats_out
+        evictions = int(out[0])
+        writebacks = int(out[1])
+        st.evictions += evictions
+        st.writebacks += writebacks
+        self._valid_count += n_miss - evictions
+        self._dirty_count += int(out[3]) - writebacks
 
     def kernel_filter_misses_wb(
         self, lines: np.ndarray, writes: np.ndarray
@@ -386,8 +471,7 @@ class NativeCache:
         st = self.stats
         st.hits += n - n_miss
         st.misses += n_miss
-        st.evictions += int(self._stats_out[0])
-        st.writebacks += int(self._stats_out[1])
+        self._fold_batch_stats(st, n_miss)
         return miss_pos[:n_miss], wb_pos[: int(self._stats_out[2])]
 
     def kernel_hit_flags_wb(
@@ -407,8 +491,7 @@ class NativeCache:
         st = self.stats
         st.hits += int(hits)
         st.misses += n - int(hits)
-        st.evictions += int(self._stats_out[0])
-        st.writebacks += int(self._stats_out[1])
+        self._fold_batch_stats(st, n - int(hits))
         return flags, wb_pos[: int(self._stats_out[2])]
 
     # ------------------------------------------------------------------
@@ -425,8 +508,7 @@ class NativeCache:
         st = self.stats
         st.hits += 1 - n_miss
         st.misses += n_miss
-        st.evictions += int(self._stats_out[0])
-        st.writebacks += int(self._stats_out[1])
+        self._fold_batch_stats(st, int(n_miss))
         return n_miss == 0
 
     def touch_many(self, line_ids, writes) -> int:
@@ -446,11 +528,13 @@ class NativeCache:
 
     @property
     def valid_lines(self) -> int:
-        return int((self.tags != -1).sum())
+        """Resident line count (incrementally tracked, O(1))."""
+        return self._valid_count
 
     @property
     def dirty_lines(self) -> int:
-        return int((self.dirty != 0).sum())
+        """Modified-line count (incrementally tracked, O(1))."""
+        return self._dirty_count
 
     def resident_lines(self) -> List[int]:
         """All line ids currently cached, per set MRU-first."""
@@ -460,19 +544,33 @@ class NativeCache:
         return out
 
     def invalidate_all(self) -> Tuple[int, int]:
-        valid = self.valid_lines
-        dirty = self.dirty_lines
-        self.tags.fill(-1)
-        self.dirty.fill(0)
-        self.age.fill(0)
+        """Flush-and-invalidate; returns (valid, dirty) line counts.
+
+        Counts come from the occupancy counters; an already-empty cache
+        skips the matrix resets entirely.
+        """
+        valid = self._valid_count
+        dirty = self._dirty_count
+        if valid:
+            self.tags.fill(-1)
+            self.dirty.fill(0)
+            self.age.fill(0)
+        self._valid_count = 0
+        self._dirty_count = 0
         self.stats.invalidations += valid
         self.stats.flushes += 1
         self.stats.writebacks += dirty
         return valid, dirty
 
     def clean_all(self) -> int:
-        dirty = self.dirty_lines
-        self.dirty.fill(0)
+        """Write back all dirty lines without invalidating; returns count.
+
+        A clean cache returns immediately off the occupancy counter.
+        """
+        dirty = self._dirty_count
+        if dirty:
+            self.dirty.fill(0)
+            self._dirty_count = 0
         self.stats.writebacks += dirty
         return dirty
 
@@ -484,11 +582,41 @@ class NativeCache:
         way = (line_id & self._set_mask) * self.assoc + int(ways[0])
         if self.dirty[way]:
             self.stats.writebacks += 1
+            self._dirty_count -= 1
         self.tags[way] = -1
         self.dirty[way] = 0
         self.age[way] = 0
         self.stats.evictions += 1
+        self._valid_count -= 1
         return True
+
+    def evict_line_range(self, base_line: int, count: int) -> int:
+        """Evict every resident line in ``[base_line, base_line+count)``.
+
+        Vectorized over the range's sets — one gather/compare instead
+        of a Python loop with one :meth:`evict_line` lookup per line;
+        identical stats, occupancy and final contents.  Used by the
+        page re-homing / migration path (one frame per call).
+        """
+        if self._valid_count == 0:
+            return 0
+        lines = np.arange(base_line, base_line + count, dtype=np.int64)
+        sets = lines & self._set_mask
+        flat = (sets * self.assoc)[:, None] + np.arange(self.assoc)
+        hit = self.tags[flat] == lines[:, None]
+        idx = flat[hit]
+        evicted = int(len(idx))
+        if not evicted:
+            return 0
+        wbs = int(np.count_nonzero(self.dirty[idx]))
+        self.tags[idx] = -1
+        self.dirty[idx] = 0
+        self.age[idx] = 0
+        self.stats.evictions += evicted
+        self.stats.writebacks += wbs
+        self._valid_count -= evicted
+        self._dirty_count -= wbs
+        return evicted
 
     def fill_set(self, set_index: int, tag_base: int) -> List[int]:
         primed = primed_lines_for_set(self.n_sets, self.assoc, set_index, tag_base)
@@ -524,6 +652,61 @@ class NativeCache:
             f"NativeCache({self.name}, {self.config.size_bytes}B, "
             f"{self.assoc}-way, {self.valid_lines} valid)"
         )
+
+
+def multi_slice_flags_wb(
+    caches: list,
+    bounds: "list[int]",
+    lines_sorted: np.ndarray,
+    writes_sorted: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One ``l2_flags_wb_multi`` kernel call over a home-sorted stream.
+
+    ``caches[p]`` services stream positions ``[bounds[p], bounds[p+1])``
+    (all caches must share one geometry).  Folds each part's stats and
+    occupancy deltas into its cache — bit-identical to one
+    ``kernel_hit_flags_wb`` call per part — and returns
+    ``(hit_flags, wb_positions, stats4)``, the last being the raw
+    per-part ``{evictions, writebacks, hits, dirtied}`` counters for
+    callers that aggregate per-window numbers themselves.  This is the
+    single shared dispatch for the batch replayer's epochs and the
+    calibration planner's probe windows.
+    """
+    n = len(lines_sorted)
+    n_parts = len(caches)
+    first = caches[0]
+    ptrs = [c._state_ptrs for c in caches]
+    tags_ptrs = np.fromiter((p[0] for p in ptrs), dtype=np.int64, count=n_parts)
+    dirty_ptrs = np.fromiter((p[1] for p in ptrs), dtype=np.int64, count=n_parts)
+    age_ptrs = np.fromiter((p[2] for p in ptrs), dtype=np.int64, count=n_parts)
+    clock_ptrs = np.fromiter((p[3] for p in ptrs), dtype=np.int64, count=n_parts)
+    bounds_arr = np.asarray(bounds, dtype=np.int64)
+    lines_sorted = np.ascontiguousarray(lines_sorted, dtype=np.int64)
+    writes_sorted = np.ascontiguousarray(writes_sorted, dtype=np.int8)
+    flags = np.empty(n, dtype=np.int8)
+    wb_pos = np.empty(n, dtype=np.int64)
+    stats4 = np.empty(4 * n_parts, dtype=np.int64)
+    n_wb = first._lib.l2_flags_wb_multi(
+        n_parts, bounds_arr.ctypes.data,
+        tags_ptrs.ctypes.data, dirty_ptrs.ctypes.data,
+        age_ptrs.ctypes.data, clock_ptrs.ctypes.data,
+        lines_sorted.ctypes.data, writes_sorted.ctypes.data,
+        first._set_mask, first.assoc,
+        flags.ctypes.data, wb_pos.ctypes.data, stats4.ctypes.data,
+    )
+    for p, cache in enumerate(caches):
+        st = cache.stats
+        hits = int(stats4[4 * p + 2])
+        n_p = int(bounds_arr[p + 1] - bounds_arr[p])
+        evictions = int(stats4[4 * p])
+        writebacks = int(stats4[4 * p + 1])
+        st.hits += hits
+        st.misses += n_p - hits
+        st.evictions += evictions
+        st.writebacks += writebacks
+        cache._valid_count += (n_p - hits) - evictions
+        cache._dirty_count += int(stats4[4 * p + 3]) - writebacks
+    return flags, wb_pos[:n_wb], stats4
 
 
 class NativeTlb:

@@ -46,6 +46,10 @@ class VectorCache:
         self._set_mask = self.n_sets - 1
         # tag -> dirty flag; insertion order is LRU (front) to MRU (back).
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        # Occupancy is tracked incrementally (kernels fold their deltas
+        # in per batch) so the purge models never scan the sets.
+        self._valid_count = 0
+        self._dirty_count = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -69,11 +73,14 @@ class VectorCache:
         miss = misses.append
         evictions = 0
         writebacks = 0
+        dirtied = 0
         k = 0
         for line, w in zip(lines, writes):
             d = sets[line & mask]
             v = d.pop(line, missing)
             if v is not missing:
+                if w and not v:
+                    dirtied += 1
                 d[line] = v or w
             else:
                 if len(d) >= assoc:
@@ -81,6 +88,8 @@ class VectorCache:
                     if d.pop(victim):
                         writebacks += 1
                     evictions += 1
+                if w:
+                    dirtied += 1
                 d[line] = w
                 miss(k)
             k += 1
@@ -90,6 +99,8 @@ class VectorCache:
         st.misses += n_miss
         st.evictions += evictions
         st.writebacks += writebacks
+        self._valid_count += n_miss - evictions
+        self._dirty_count += dirtied - writebacks
         return misses
 
     def kernel_hit_flags(self, lines: Sequence[int], writes: Sequence[int]) -> List[int]:
@@ -107,10 +118,13 @@ class VectorCache:
         misses = 0
         evictions = 0
         writebacks = 0
+        dirtied = 0
         for line, w in zip(lines, writes):
             d = sets[line & mask]
             v = d.pop(line, missing)
             if v is not missing:
+                if w and not v:
+                    dirtied += 1
                 d[line] = v or w
                 flag(1)
             else:
@@ -120,6 +134,8 @@ class VectorCache:
                     if d.pop(victim):
                         writebacks += 1
                     evictions += 1
+                if w:
+                    dirtied += 1
                 d[line] = w
                 flag(0)
         st = self.stats
@@ -127,6 +143,8 @@ class VectorCache:
         st.misses += misses
         st.evictions += evictions
         st.writebacks += writebacks
+        self._valid_count += misses - evictions
+        self._dirty_count += dirtied - writebacks
         return flags
 
     def kernel_filter_misses_wb(
@@ -145,11 +163,14 @@ class VectorCache:
         misses: List[int] = []
         wbs: List[int] = []
         evictions = 0
+        dirtied = 0
         k = 0
         for line, w in zip(lines, writes):
             d = sets[line & mask]
             v = d.pop(line, missing)
             if v is not missing:
+                if w and not v:
+                    dirtied += 1
                 d[line] = v or w
             else:
                 if len(d) >= assoc:
@@ -157,6 +178,8 @@ class VectorCache:
                     if d.pop(victim):
                         wbs.append(k)
                     evictions += 1
+                if w:
+                    dirtied += 1
                 d[line] = w
                 misses.append(k)
             k += 1
@@ -166,6 +189,8 @@ class VectorCache:
         st.misses += n_miss
         st.evictions += evictions
         st.writebacks += len(wbs)
+        self._valid_count += n_miss - evictions
+        self._dirty_count += dirtied - len(wbs)
         return misses, wbs
 
     def kernel_hit_flags_wb(
@@ -185,11 +210,14 @@ class VectorCache:
         wbs: List[int] = []
         misses = 0
         evictions = 0
+        dirtied = 0
         k = 0
         for line, w in zip(lines, writes):
             d = sets[line & mask]
             v = d.pop(line, missing)
             if v is not missing:
+                if w and not v:
+                    dirtied += 1
                 d[line] = v or w
                 flag(1)
             else:
@@ -199,6 +227,8 @@ class VectorCache:
                     if d.pop(victim):
                         wbs.append(k)
                     evictions += 1
+                if w:
+                    dirtied += 1
                 d[line] = w
                 flag(0)
             k += 1
@@ -207,6 +237,8 @@ class VectorCache:
         st.misses += misses
         st.evictions += evictions
         st.writebacks += len(wbs)
+        self._valid_count += misses - evictions
+        self._dirty_count += dirtied - len(wbs)
         return flags, wbs
 
     # ------------------------------------------------------------------
@@ -219,6 +251,8 @@ class VectorCache:
         v = d.pop(line_id, _MISSING)
         if v is not _MISSING:
             stats.hits += 1
+            if is_write and not v:
+                self._dirty_count += 1
             d[line_id] = v or (1 if is_write else 0)
             return True
         stats.misses += 1
@@ -226,7 +260,12 @@ class VectorCache:
             victim = next(iter(d))
             if d.pop(victim):
                 stats.writebacks += 1
+                self._dirty_count -= 1
             stats.evictions += 1
+        else:
+            self._valid_count += 1
+        if is_write:
+            self._dirty_count += 1
         d[line_id] = 1 if is_write else 0
         return False
 
@@ -247,11 +286,13 @@ class VectorCache:
 
     @property
     def valid_lines(self) -> int:
-        return sum(len(d) for d in self._sets)
+        """Resident line count (incrementally tracked, O(1))."""
+        return self._valid_count
 
     @property
     def dirty_lines(self) -> int:
-        return sum(1 for d in self._sets for dirty in d.values() if dirty)
+        """Modified-line count (incrementally tracked, O(1))."""
+        return self._dirty_count
 
     def resident_lines(self) -> List[int]:
         """All line ids currently cached, per set MRU-first."""
@@ -262,27 +303,31 @@ class VectorCache:
 
     def invalidate_all(self) -> Tuple[int, int]:
         """Flush-and-invalidate; returns (valid, dirty) line counts."""
-        valid = 0
-        dirty = 0
-        for d in self._sets:
-            valid += len(d)
-            for flag in d.values():
-                if flag:
-                    dirty += 1
-            d.clear()
+        valid = self._valid_count
+        dirty = self._dirty_count
+        if valid:
+            for d in self._sets:
+                if d:
+                    d.clear()
+        self._valid_count = 0
+        self._dirty_count = 0
         self.stats.invalidations += valid
         self.stats.flushes += 1
         self.stats.writebacks += dirty
         return valid, dirty
 
     def clean_all(self) -> int:
-        """Write back all dirty lines without invalidating; returns count."""
-        dirty = 0
-        for d in self._sets:
-            for tag, flag in d.items():
-                if flag:
-                    dirty += 1
-                    d[tag] = 0
+        """Write back all dirty lines without invalidating; returns count.
+
+        A clean cache returns immediately off the occupancy counter.
+        """
+        dirty = self._dirty_count
+        if dirty:
+            for d in self._sets:
+                for tag, flag in d.items():
+                    if flag:
+                        d[tag] = 0
+            self._dirty_count = 0
         self.stats.writebacks += dirty
         return dirty
 
@@ -294,8 +339,35 @@ class VectorCache:
             return False
         if flag:
             self.stats.writebacks += 1
+            self._dirty_count -= 1
+        self._valid_count -= 1
         self.stats.evictions += 1
         return True
+
+    def evict_line_range(self, base_line: int, count: int) -> int:
+        """Evict every resident line in ``[base_line, base_line+count)``.
+
+        Equivalent to calling :meth:`evict_line` per line (same stats,
+        occupancy and final contents); one call per frame on the
+        re-homing path.  Returns lines evicted.
+        """
+        sets = self._sets
+        mask = self._set_mask
+        evicted = 0
+        wbs = 0
+        for line_id in range(base_line, base_line + count):
+            flag = sets[line_id & mask].pop(line_id, _MISSING)
+            if flag is _MISSING:
+                continue
+            evicted += 1
+            if flag:
+                wbs += 1
+        if evicted:
+            self.stats.evictions += evicted
+            self.stats.writebacks += wbs
+            self._valid_count -= evicted
+            self._dirty_count -= wbs
+        return evicted
 
     def fill_set(self, set_index: int, tag_base: int) -> List[int]:
         """Fill one set with attacker-controlled lines (Prime+Probe)."""

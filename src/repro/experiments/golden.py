@@ -1,13 +1,13 @@
 """Golden-number collection for the regression suite.
 
 ``tests/test_golden_figures.py`` freezes the per-(app, machine)
-speedup/latency numbers of Figures 1, 6 and 7 — as produced by the
-CLI's ``--quick`` settings — into checked-in JSON and asserts
-**bit-exact** equality on every run, on both replay engines.  This
-module is the single source of truth for what gets frozen;
-``tools/update_goldens.py`` reuses it to refresh the files after an
-intentional model change (bump :data:`~repro.experiments.store.
-MODEL_VERSION` at the same time).
+speedup/latency numbers of Figures 1, 6, 7 and 8 plus all five
+ablations — as produced by the CLI's ``--quick`` settings — into
+checked-in JSON and asserts **bit-exact** equality on every run, on
+both replay engines.  This module is the single source of truth for
+what gets frozen; ``tools/update_goldens.py`` reuses it to refresh the
+files after an intentional model change (bump
+:data:`~repro.experiments.store.MODEL_VERSION` at the same time).
 
 Bit-exactness is achievable because the whole pipeline is
 deterministic: seeded trace generation, exact counter arithmetic in
@@ -19,7 +19,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.experiments.ablations import ablate_homing
+from repro.experiments.ablations import (
+    ablate_binding,
+    ablate_homing,
+    ablate_purge_anatomy,
+    ablate_replication,
+    ablate_routing,
+)
 from repro.experiments.fig1 import run_fig1a
 from repro.experiments.fig6 import MACHINES as FIG6_MACHINES
 from repro.experiments.fig6 import run_fig6
@@ -49,6 +55,10 @@ def collect_golden_numbers(
     fig7 = run_fig7(settings, verbose=False)
     fig8 = run_fig8(settings, verbose=False)
     homing = ablate_homing(settings, verbose=False)
+    routing = ablate_routing(verbose=False, settings=settings)
+    binding = ablate_binding(settings, verbose=False)
+    purge_anatomy = ablate_purge_anatomy(settings, verbose=False)
+    replication = ablate_replication(settings, verbose=False)
     return {
         "model": MODEL_VERSION,
         "settings": {
@@ -87,4 +97,11 @@ def collect_golden_numbers(
             },
         },
         "ablation_homing": {k: float(v) for k, v in homing.items()},
+        "ablation_routing": {k: int(v) for k, v in routing.items()},
+        "ablation_binding": {k: float(v) for k, v in binding.items()},
+        "ablation_purge_anatomy": {
+            app: {comp: int(v) for comp, v in comps.items()}
+            for app, comps in purge_anatomy.items()
+        },
+        "ablation_replication": {k: float(v) for k, v in replication.items()},
     }

@@ -44,10 +44,15 @@ DEFAULT_MACHINES = ("insecure", "sgx", "mi6", "ironhide")
 def clear_result_cache() -> None:
     """Drop all in-memory memoized runs (tests and long-lived sessions).
 
+    Also drops the calibration planner's pooled scratch caches, so a
+    long-lived session really does return to a cold-memory state.
     Disk-persisted entries survive; delete the cache directory to drop
     those too.
     """
+    from repro.model.perf_model import clear_probe_pools
+
     store_mod.clear_memory_caches()
+    clear_probe_pools()
 
 
 def result_cache_size() -> int:
@@ -130,9 +135,21 @@ class ExperimentSettings:
 def run_one(
     app: AppSpec, machine_name: str, settings: ExperimentSettings, **machine_kwargs
 ) -> RunResult:
-    """Run one app on a freshly built machine."""
-    if machine_name == "ironhide" and "calibration_cache" not in machine_kwargs:
-        machine_kwargs["calibration_cache"] = settings.calibration_cache
+    """Run one app on a freshly built machine.
+
+    IRONHIDE machines additionally get the settings' predictor
+    calibration cache and the settings' result store (for memoized
+    calibration probe curves, honouring ``no_cache`` for reads) unless
+    the caller overrides them.
+    """
+    if machine_name == "ironhide":
+        if "calibration_cache" not in machine_kwargs:
+            machine_kwargs["calibration_cache"] = settings.calibration_cache
+        if "probe_store" not in machine_kwargs:
+            machine_kwargs["probe_store"] = store_mod.get_store(
+                settings.cache_dir, max_bytes=settings.cache_max_bytes
+            )
+            machine_kwargs["probe_store_read"] = not settings.no_cache
     machine = build_machine(machine_name, settings.config, **machine_kwargs)
     return machine.run(
         app, n_interactions=settings.interactions_for(app), seed=settings.seed

@@ -12,9 +12,10 @@ cache directory:
   JSON-encoded and SHA-256 hashed; the digest names the cache file, so
   the store is content-addressed and needs no index.
 * **Values** are either :class:`~repro.sim.stats.RunResult` objects or
-  plain JSON data (ablation summaries).  Both are serialized to JSON;
-  floats survive bit-exactly because JSON round-trips the shortest
-  ``repr`` of a double.
+  plain JSON data (ablation summaries, IRONHIDE calibration probe
+  curves as :meth:`~repro.arch.hierarchy.TraceResult.as_payload`
+  dicts).  Both are serialized to JSON; floats survive bit-exactly
+  because JSON round-trips the shortest ``repr`` of a double.
 * **Validation.**  Every file carries ``schema`` (the serialization
   layout version) and ``model`` (the performance-model fingerprint,
   bumped on intentional model changes) plus the encoded key.  Any
@@ -117,6 +118,7 @@ def encode_value(value) -> Dict:
 
 
 def decode_value(encoded: Dict):
+    """Rebuild a stored value tagged by :func:`encode_value`."""
     if encoded["kind"] == "run_result":
         return _result_from_payload(encoded["data"])
     return encoded["data"]
@@ -134,9 +136,11 @@ class StoreStats:
 
     @property
     def hits(self) -> int:
+        """Total hits across both layers."""
         return self.memory_hits + self.disk_hits
 
     def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (benchmark/CLI reporting)."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,

@@ -263,16 +263,24 @@ class Machine(abc.ABC):
         if self.crossing_state_hazard:
             # Purging crossings: replay pauses at each boundary so the
             # hooks act on (and wipe) the live microarchitectural state.
+            # Each epoch covers exactly the segments between two purge
+            # barriers, so interaction k's trailing reply-recv segment
+            # merges with interaction k+1's producer trace and IPC send
+            # — one planned epoch per crossing (2 per interaction, not
+            # 3), bit-identical because epoch splits never change
+            # per-segment results.
             results: List[TraceResult] = []
             entries = []
             exits = []
+            if count:
+                results.extend(replayer.run_epoch(0, 2))
             for k in range(count):
                 base = 6 * k
-                results.extend(replayer.run_epoch(base, base + 2))
                 entries.append(self._secure_entry(app, st))
                 results.extend(replayer.run_epoch(base + 2, base + 5))
                 exits.append(self._secure_exit(app, st))
-                results.extend(replayer.run_epoch(base + 5, base + 6))
+                end = base + 8 if k + 1 < count else base + 6
+                results.extend(replayer.run_epoch(base + 5, end))
         else:
             results = replayer.run_epoch(0, len(segments))
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
+from repro.arch.hierarchy import TraceResult
 from repro.machines.base import Machine, Setup
 from repro.model.perf_model import (
     PerfModel,
@@ -55,6 +56,8 @@ class IronhideMachine(Machine):
         calibration_cache: Optional[Dict] = None,
         initial_warmup: int = 2,
         post_setup_warmup: int = 2,
+        probe_store=None,
+        probe_store_read: bool = True,
     ):
         super().__init__(config, post_setup_warmup=post_setup_warmup)
         self.predictor = predictor or GradientHeuristicPredictor()
@@ -62,6 +65,14 @@ class IronhideMachine(Machine):
         self.initial_split = initial_split
         self.initial_warmup = initial_warmup
         self.calibration_cache = calibration_cache if calibration_cache is not None else {}
+        # Optional ResultStore memoizing the calibration probe curves
+        # (keyed by app, process, config hash and probe grid); the
+        # experiment runner wires the settings' store in so probe
+        # replays are shared across figures, processes and invocations.
+        # ``probe_store_read=False`` mirrors the store's no-cache
+        # semantics: bypass reads, still record fresh curves.
+        self.probe_store = probe_store
+        self.probe_store_read = probe_store_read
         self.reconfig_report = None
         self.predictor_result: Optional[PredictorResult] = None
 
@@ -181,7 +192,7 @@ class IronhideMachine(Machine):
             interactions = 2
             warm = proc.calibration_trace(crng, interactions, start=0)
             measure = proc.calibration_trace(crng, interactions, start=interactions)
-            probes = calibrate_l2_curve(self.config, warm, measure, counts)
+            probes = self._probe_curve(app, proc, warm, measure, counts, interactions)
             calibs.append(
                 calibration_from_probes(
                     self.config, proc.name, measure, probes,
@@ -193,6 +204,41 @@ class IronhideMachine(Machine):
         pair = (calibs[0], calibs[1])
         self.calibration_cache[key] = pair
         return pair
+
+    def _probe_curve(self, app, proc, warm, measure, counts, interactions):
+        """The probe curve for one process, memoized in the result store.
+
+        The store key pins everything the probe replays depend on: the
+        app/process identity, the calibration seed and window, the probe
+        grid, and the full machine description via
+        :meth:`SystemConfig.config_hash` (which includes the replay
+        engine, so the engines' bit-identical curves stay keyed apart —
+        same policy as the run store).  Values are
+        :meth:`~repro.arch.hierarchy.TraceResult.as_payload` dicts,
+        which round-trip bit-exactly through JSON.
+        """
+        store = self.probe_store
+        key = (
+            "ironhide_probe_curve",
+            app.name,
+            proc.name,
+            self.config.config_hash(),
+            tuple(counts),
+            interactions,
+            _CALIBRATION_SEED,
+        )
+        if store is not None and self.probe_store_read:
+            hit = store.get(key, copy_result=False)
+            if hit is not None:
+                return {
+                    int(k): TraceResult.from_payload(v) for k, v in hit.items()
+                }
+        probes = calibrate_l2_curve(self.config, warm, measure, counts)
+        if store is not None:
+            store.put(
+                key, {str(k): r.as_payload() for k, r in probes.items()}
+            )
+        return probes
 
     # ------------------------------------------------------------------
     def context_switch_secure(self, app: AppSpec, st: Setup) -> float:

@@ -18,6 +18,7 @@ the rest of the simulation.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -71,6 +72,13 @@ class SharedIpcBuffer:
         self._head = 0
         self._tail = 0
         self.stats = IpcStats()
+        # Plan-time caches: one reusable context view per caller (the
+        # view only swaps the VM, so it can be shared across transfers)
+        # and one address/write pattern per (ring offset, size) — the
+        # ring wraps, so the pattern space is finite and tiny.
+        self._views: dict = {}
+        self._patterns: dict = {}
+        self._round_trips: dict = {}
 
         # Allocate and pre-home the buffer pages on the insecure side.
         self._vm = VirtualMemory("ipc", hier.address_space, [shared_region])
@@ -91,13 +99,55 @@ class SharedIpcBuffer:
         if size > self.capacity:
             raise IPCError(f"message of {size}B exceeds buffer capacity {self.capacity}B")
         start = offset % self.capacity
-        addrs = (start + np.arange(0, size, self.line_bytes, dtype=np.int64)) % self.capacity
-        writes = np.ones(len(addrs), dtype=np.int8) if write else None
+        pattern = self._patterns.get((start, size, write))
+        if pattern is None:
+            addrs = (
+                start + np.arange(0, size, self.line_bytes, dtype=np.int64)
+            ) % self.capacity
+            writes = np.ones(len(addrs), dtype=np.int8) if write else None
+            pattern = self._patterns[(start, size, write)] = (addrs, writes)
+        addrs, writes = pattern
+        view = self._view_for(ctx)
+        # The request/response round trip to the buffer's home slice
+        # (cached per caller core; rehome() drops the cache).
+        rt = self._round_trips.get(ctx.rep_core)
+        if rt is None:
+            hop = (
+                self.hier.config.noc.hop_latency
+                + self.hier.config.noc.router_latency
+            )
+            dist = int(self.hier.mesh.core_distances[ctx.rep_core][self.home_slice])
+            rt = self._round_trips[ctx.rep_core] = 2 * hop * dist
+        return IpcOp(view, addrs, writes, size, rt)
+
+    def _view_for(self, ctx: ProcessContext) -> ProcessContext:
+        """A context view replaying through the buffer's page table.
+
+        Transfers never allocate homes (the buffer is pre-homed), so
+        one view per caller is shared across transfers instead of a
+        fresh ``dataclasses.replace`` per message.  The view keeps the
+        caller's entitlement *list objects* by reference; a cached view
+        is invalidated when the caller's binding was replaced (cluster
+        reconfiguration assigns fresh lists), which the identity checks
+        below detect.  Entries hold a weak reference to the caller so a
+        recycled ``id()`` can never resurrect a dead caller's view, and
+        dead entries are pruned whenever a view is (re)built.
+        """
+        entry = self._views.get(id(ctx))
+        if entry is not None:
+            ref, view = entry
+            if (
+                ref() is ctx
+                and view.cores is ctx.cores
+                and view.slices is ctx.slices
+                and view.controllers is ctx.controllers
+            ):
+                return view
         view = replace(ctx, vm=self._vm, _rr_next=0)
-        # The request/response round trip to the buffer's home slice.
-        hop = self.hier.config.noc.hop_latency + self.hier.config.noc.router_latency
-        dist = int(self.hier.mesh.core_distances[ctx.rep_core][self.home_slice])
-        return IpcOp(view, addrs, writes, size, 2 * hop * dist)
+        for key in [k for k, (r, _) in self._views.items() if r() is None]:
+            del self._views[key]
+        self._views[id(ctx)] = (weakref.ref(ctx), view)
+        return view
 
     def plan_send(self, ctx: ProcessContext, size_bytes: int) -> IpcOp:
         """Reserve a send: advances the ring head, returns the segment."""
@@ -147,6 +197,7 @@ class SharedIpcBuffer:
         frames = list(self._vm.page_table.values())
         evicted = self.hier.rehome_frames(frames, view)
         self.home_slice = home
+        self._round_trips.clear()
         return evicted
 
     @property

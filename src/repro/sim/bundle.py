@@ -65,6 +65,7 @@ class TraceBundle:
 
     @property
     def n_segments(self) -> int:
+        """Number of interactions materialized in this bundle."""
         return len(self.offsets) - 1
 
     def __len__(self) -> int:
@@ -80,6 +81,7 @@ class TraceBundle:
         )
 
     def traces(self) -> List[Trace]:
+        """All segments as (zero-copy) per-interaction traces."""
         return [self.segment(k) for k in range(self.n_segments)]
 
     @staticmethod
@@ -142,15 +144,24 @@ def _bundle_nbytes(bundle: TraceBundle) -> int:
 
 
 def clear_bundle_cache() -> None:
-    """Drop every cached bundle (tests, cold benchmarks)."""
+    """Drop every cached bundle (tests, cold benchmarks).
+
+    This is the only explicit invalidation the bundle cache has — and
+    the only one it needs: cache keys pin every input of the stream
+    (app, role, seed, index range, ``trace_scale``), so entries can
+    become *unused* but never stale.  Capacity eviction is automatic
+    (LRU past :data:`_CACHE_CAP` entries / :data:`_CACHE_MAX_BYTES`).
+    """
     _CACHE.clear()
 
 
 def bundle_cache_size() -> int:
+    """Number of bundles currently cached (tests and diagnostics)."""
     return len(_CACHE)
 
 
 def bundle_cache_bytes() -> int:
+    """Total bytes held by cached bundles (the eviction cap's metric)."""
     return sum(_bundle_nbytes(b) for b in _CACHE.values())
 
 

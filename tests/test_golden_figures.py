@@ -1,13 +1,13 @@
 """Golden-number regression suite (marker ``golden``, tier-1).
 
 Freezes the per-(app, machine) speedup/latency numbers of the quick
-Figure 1/6/7/8 runs plus the homing ablation in
-``tests/golden/figures_quick.json`` and asserts **bit-exact** equality
-on both replay engines.  Any drift means the
-performance model changed: if intentional, bump
+Figure 1/6/7/8 runs plus all five ablations (homing, routing, binding,
+purge anatomy, replication) in ``tests/golden/figures_quick.json`` and
+asserts **bit-exact** equality on both replay engines.  Any drift means
+the performance model changed: if intentional, bump
 ``repro.experiments.store.MODEL_VERSION`` and refresh with
 ``PYTHONPATH=src python tools/update_goldens.py``; if not, it is a
-regression.
+regression.  See ``docs/benchmarking.md`` for the refresh procedure.
 """
 
 from __future__ import annotations
@@ -73,6 +73,25 @@ def test_fig8_bit_exact(golden, measured):
 
 def test_ablation_homing_bit_exact(golden, measured):
     assert measured["ablation_homing"] == golden["ablation_homing"]
+
+
+def test_ablation_routing_bit_exact(golden, measured):
+    """X-Y vs bidirectional containment counts stay frozen (and the
+    paper's claim — zero escapes with Y-X fallback — keeps holding)."""
+    assert measured["ablation_routing"] == golden["ablation_routing"]
+    assert golden["ablation_routing"]["bidirectional_escapes"] == 0
+
+
+def test_ablation_binding_bit_exact(golden, measured):
+    assert measured["ablation_binding"] == golden["ablation_binding"]
+
+
+def test_ablation_purge_anatomy_bit_exact(golden, measured):
+    assert measured["ablation_purge_anatomy"] == golden["ablation_purge_anatomy"]
+
+
+def test_ablation_replication_bit_exact(golden, measured):
+    assert measured["ablation_replication"] == golden["ablation_replication"]
 
 
 def test_whole_payload_bit_exact(golden, measured):

@@ -279,6 +279,165 @@ class TestBatchedReplayEquivalence:
             pair.assert_same_state()
 
 
+class TestCalibrationEquivalence:
+    """Batched probe-curve planning vs the per-probe scalar oracle.
+
+    The IRONHIDE calibration (``calibrate_l2_curve``) plans a whole
+    probe curve at once under the vector engine; every probe point's
+    :class:`TraceResult` must stay bit-identical to the per-probe
+    scratch-hierarchy oracle, on either backend.
+    """
+
+    APPS = ("<AES, QUERY>", "<MEMCACHED, OS>", "<TC, GRAPH>")
+    COUNTS = [1, 2, 3, 5, 8, 16, 24, 48, 62]
+
+    def _windows(self, app_name):
+        from repro.machines.ironhide import _CALIBRATION_SEED
+
+        app = get_app(app_name)
+        for proc in app.processes():
+            crng = np.random.default_rng(_CALIBRATION_SEED)
+            warm = proc.calibration_trace(crng, 2, start=0)
+            measure = proc.calibration_trace(crng, 2, start=2)
+            yield proc, warm, measure
+
+    @pytest.mark.parametrize("app_name", APPS)
+    def test_batched_curve_matches_scalar_oracle(self, backend, app_name):
+        from repro.model.perf_model import (
+            calibrate_l2_curve,
+            calibrate_l2_curve_oracle,
+        )
+
+        for proc, warm, measure in self._windows(app_name):
+            oracle = calibrate_l2_curve(
+                SystemConfig.evaluation().with_engine("scalar"),
+                warm, measure, self.COUNTS,
+            )
+            batched = calibrate_l2_curve(
+                SystemConfig.evaluation().with_engine("vector"),
+                warm, measure, self.COUNTS,
+            )
+            assert list(batched) == list(oracle)
+            for k in self.COUNTS:
+                assert batched[k] == oracle[k], (proc.name, k)
+            # Same engine, planner off: the vector per-probe loop.
+            per_probe = calibrate_l2_curve_oracle(
+                SystemConfig.evaluation().with_engine("vector"),
+                warm, measure, self.COUNTS,
+            )
+            assert batched == per_probe, proc.name
+
+    def test_probe_curve_store_round_trip(self, tmp_path):
+        """Probe curves survive the result store bit-exactly."""
+        from repro.experiments.store import ResultStore
+        from repro.model.perf_model import calibrate_l2_curve
+
+        proc, warm, measure = next(self._windows("<AES, QUERY>"))
+        counts = [1, 4, 16]
+        probes = calibrate_l2_curve(
+            SystemConfig.evaluation().with_engine("vector"), warm, measure, counts
+        )
+        store = ResultStore(tmp_path)
+        key = ("probe-curve-test", proc.name)
+        store.put(key, {str(k): r.as_payload() for k, r in probes.items()})
+        store.clear_memory()
+        loaded = store.get(key)
+        from repro.arch.hierarchy import TraceResult
+
+        rebuilt = {int(k): TraceResult.from_payload(v) for k, v in loaded.items()}
+        assert rebuilt == probes
+
+
+class TestPurgePathOccupancy:
+    """Incremental valid/dirty occupancy vs a ground-truth recount.
+
+    The purge models (``purge_private`` / ``clean_l2``) read occupancy
+    off O(1) counters maintained by every kernel; these gates recount
+    the actual cache state after adversarial replay/purge/evict
+    sequences and on both engines.
+    """
+
+    @staticmethod
+    def _recount(cache):
+        valid = 0
+        dirty = 0
+        for s in range(cache.n_sets):
+            entries = set_entries(cache, s)
+            valid += len(entries)
+            dirty += sum(1 for _, d in entries if d)
+        return valid, dirty
+
+    def _assert_counters(self, hier, ctx):
+        for cache in [hier.l1_for(ctx.rep_core)] + [
+            hier._l2[t] for t in hier._l2
+        ]:
+            assert (cache.valid_lines, cache.dirty_lines) == self._recount(
+                cache
+            ), cache.name
+
+    def test_counters_track_replay_and_purge(self, backend, rng):
+        pair = EnginePair()
+        for i in range(5):
+            addrs, writes = random_trace(rng, 2500, write_frac=0.6)
+            pair.run(addrs, writes)
+            for hier, ctx in pair.sides:
+                self._assert_counters(hier, ctx)
+            if i % 2:
+                pair.purge()
+                for hier, ctx in pair.sides:
+                    self._assert_counters(hier, ctx)
+                    assert hier.l1_for(ctx.rep_core).valid_lines == 0
+                    assert hier.l2_dirty_lines(ctx.slices) == 0
+
+    def test_counters_track_rehoming(self, backend, rng):
+        pair = EnginePair()
+        for i in range(3):
+            addrs, writes = random_trace(rng, 1500, span=1 << 16)
+            pair.run(addrs, writes)
+            (hs, cs), (hv, cv) = pair.sides
+            frames = sorted(cs.vm.page_table.values())[: 3 + i]
+            for ctx in (cs, cv):
+                ctx.slices = list(reversed(ctx.slices))
+                ctx._rr_next = 0
+            assert hs.rehome_frames(frames, cs) == hv.rehome_frames(frames, cv)
+            for hier, ctx in pair.sides:
+                self._assert_counters(hier, ctx)
+
+    def test_clean_all_is_idempotent_and_cheap(self, backend, rng):
+        pair = EnginePair()
+        addrs, writes = random_trace(rng, 2000, write_frac=0.9)
+        pair.run(addrs, writes)
+        (hs, cs), (hv, cv) = pair.sides
+        first = hs.clean_l2(cs.slices)
+        assert first == hv.clean_l2(cv.slices)
+        assert first > 0
+        # Second clean: all counters are zero, nothing to write back.
+        assert hs.clean_l2(cs.slices) == hv.clean_l2(cv.slices) == 0
+        for hier, ctx in pair.sides:
+            self._assert_counters(hier, ctx)
+
+    def test_purge_report_matches_recount(self, backend, rng):
+        """PurgeModel dirty-drain accounting equals a state recount."""
+        from repro.secure.purge import PurgeModel
+
+        pair = EnginePair()
+        addrs, writes = random_trace(rng, 3000, write_frac=0.7)
+        pair.run(addrs, writes)
+        reports = []
+        for hier, ctx in pair.sides:
+            expected_dirty = sum(
+                self._recount(hier._l2[t])[1] for t in hier._l2
+            )
+            model = PurgeModel(hier.config)
+            report = model.purge(
+                hier, cores=[ctx.rep_core], l2_slices=ctx.slices,
+                controllers=ctx.controllers,
+            )
+            assert report.dirty_lines_drained == expected_dirty
+            reports.append(report)
+        assert reports[0] == reports[1]
+
+
 class TestMachineEquivalence:
     @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
     def test_full_machine_runs_identical(self, backend, machine):

@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Render the BENCH_history.jsonl perf trajectory to SVG (or PNG).
+
+Reads the append-only snapshot lines that ``run_tiers.py --bench``
+accumulates (see docs/benchmarking.md for the schema) and draws two
+stacked panels over snapshot index:
+
+* replay throughput (M accesses/s), scalar vs vector;
+* cold ``fig6 --quick`` end-to-end seconds, scalar vs vector.
+
+The two measures have different units, so they get separate panels
+with one y-axis each (never a dual-axis chart).  The default output is
+a dependency-free hand-rolled SVG; with matplotlib installed ``--png``
+renders the same panels to PNG instead.
+
+Usage:
+    PYTHONPATH=src python tools/plot_bench_history.py
+        [--history BENCH_history.jsonl] [--out BENCH_history.svg] [--png]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Categorical palette, fixed assignment (never cycled): slot 1 -> the
+# vector engine, slot 2 -> the scalar engine, in both panels.
+COLORS = {"vector": "#2a78d6", "scalar": "#eb6834"}
+SURFACE = "#fcfcfb"
+TEXT = "#0b0b0b"
+TEXT_MUTED = "#52514e"
+GRID = "#e4e3df"
+
+
+def load_history(path: Path) -> list:
+    """Parse the JSONL trajectory; skips blank/corrupt lines loudly."""
+    snapshots = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snapshots.append(json.loads(line))
+            except ValueError:
+                print(f"WARNING: skipping corrupt line {lineno}", file=sys.stderr)
+    return snapshots
+
+
+def extract_series(snapshots: list) -> dict:
+    """Per-engine throughput and e2e series (None where not measured)."""
+    series = {
+        "throughput": {"vector": [], "scalar": []},
+        "e2e": {"vector": [], "scalar": []},
+        "labels": [],
+    }
+    for snap in snapshots:
+        ts = snap.get("timestamp", "")
+        series["labels"].append(ts.split("T")[0] if ts else "?")
+        tp = snap.get("accesses_per_s", {})
+        e2e = snap.get("e2e", {})
+        for engine in ("vector", "scalar"):
+            val = tp.get(engine)
+            series["throughput"][engine].append(
+                val / 1e6 if val is not None else None
+            )
+            series["e2e"][engine].append(e2e.get(f"{engine}_s"))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Hand-rolled SVG backend (no third-party dependencies)
+# ---------------------------------------------------------------------------
+
+W, H = 760, 560
+PANEL_X0, PANEL_W = 64, 640
+PANEL_H, PANEL_GAP, TOP = 190, 74, 48
+
+
+def _ticks(lo: float, hi: float, n: int = 4) -> list:
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / n))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = step * math.ceil(lo / step)
+    out = []
+    v = first
+    while v <= hi + 1e-9:
+        out.append(round(v, 10))
+        v += step
+    return out
+
+
+def _panel_svg(parts, title, unit, data, labels, y0):
+    """One panel: two series over snapshot index, single y-axis."""
+    values = [v for eng in ("vector", "scalar") for v in data[eng] if v is not None]
+    if not values:
+        return
+    lo = 0.0
+    hi = max(values) * 1.12
+    n = max(len(labels), 2)
+
+    def sx(i):
+        return PANEL_X0 + PANEL_W * (i / (n - 1))
+
+    def sy(v):
+        return y0 + PANEL_H - PANEL_H * ((v - lo) / (hi - lo))
+
+    parts.append(
+        f'<text x="{PANEL_X0}" y="{y0 - 12}" fill="{TEXT}" font-size="13" '
+        f'font-weight="600">{title}</text>'
+    )
+    for tick in _ticks(lo, hi):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{PANEL_X0}" y1="{y:.1f}" x2="{PANEL_X0 + PANEL_W}" '
+            f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{PANEL_X0 - 8}" y="{y + 4:.1f}" fill="{TEXT_MUTED}" '
+            f'font-size="10" text-anchor="end">{tick:g}</text>'
+        )
+    parts.append(
+        f'<text x="{PANEL_X0 - 48}" y="{y0 + PANEL_H / 2:.1f}" fill="{TEXT_MUTED}" '
+        f'font-size="10" transform="rotate(-90 {PANEL_X0 - 48} '
+        f'{y0 + PANEL_H / 2:.1f})" text-anchor="middle">{unit}</text>'
+    )
+    for engine in ("vector", "scalar"):
+        color = COLORS[engine]
+        pts = [
+            (sx(i), sy(v)) for i, v in enumerate(data[engine]) if v is not None
+        ]
+        if not pts:
+            continue
+        if len(pts) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for i, v in enumerate(data[engine]):
+            if v is None:
+                continue
+            x, y = sx(i), sy(v)
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="{SURFACE}" stroke-width="2">'
+                f"<title>{engine} · {labels[i]} · {v:g} {unit}</title></circle>"
+            )
+        # Direct label at the line's last point (text in ink, not series
+        # color alone — the adjacent marker carries identity).
+        lx, ly = pts[-1]
+        parts.append(
+            f'<text x="{lx + 8:.1f}" y="{ly + 4:.1f}" fill="{TEXT}" '
+            f'font-size="11">{engine}</text>'
+        )
+    for i, label in enumerate(labels):
+        if n > 8 and i % max(1, n // 8):
+            continue
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{y0 + PANEL_H + 16}" fill="{TEXT_MUTED}" '
+            f'font-size="9" text-anchor="middle">{label}</text>'
+        )
+
+
+def render_svg(series: dict, out_path: Path) -> None:
+    labels = series["labels"]
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" '
+        f'viewBox="0 0 {W} {H}" font-family="system-ui, sans-serif">',
+        f'<rect width="{W}" height="{H}" fill="{SURFACE}"/>',
+        f'<text x="{PANEL_X0}" y="24" fill="{TEXT}" font-size="15" '
+        f'font-weight="700">Replay benchmark history</text>',
+    ]
+    # Legend (two series per panel, fixed order).
+    lx = PANEL_X0 + PANEL_W - 150
+    for j, engine in enumerate(("vector", "scalar")):
+        y = 18 + 14 * j
+        parts.append(
+            f'<circle cx="{lx}" cy="{y - 4}" r="4" fill="{COLORS[engine]}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 10}" y="{y}" fill="{TEXT_MUTED}" '
+            f'font-size="11">{engine} engine</text>'
+        )
+    _panel_svg(parts, "Replay throughput (Fig. 6 mix)", "M accesses/s",
+               series["throughput"], labels, TOP)
+    _panel_svg(parts, "Cold fig6 --quick end to end", "seconds",
+               series["e2e"], labels, TOP + PANEL_H + PANEL_GAP)
+    parts.append("</svg>")
+    out_path.write_text("\n".join(parts) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Optional matplotlib backend (PNG)
+# ---------------------------------------------------------------------------
+
+
+def render_png(series: dict, out_path: Path) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    labels = series["labels"]
+    x = range(len(labels))
+    fig, axes = plt.subplots(2, 1, figsize=(8, 6), sharex=True)
+    fig.patch.set_facecolor(SURFACE)
+    panels = [
+        ("Replay throughput (Fig. 6 mix)", "M accesses/s", series["throughput"]),
+        ("Cold fig6 --quick end to end", "seconds", series["e2e"]),
+    ]
+    for ax, (title, unit, data) in zip(axes, panels):
+        ax.set_facecolor(SURFACE)
+        for engine in ("vector", "scalar"):
+            ax.plot(x, data[engine], color=COLORS[engine], linewidth=2,
+                    marker="o", markersize=5, label=f"{engine} engine")
+        ax.set_title(title, fontsize=11, color=TEXT, loc="left")
+        ax.set_ylabel(unit, fontsize=9, color=TEXT_MUTED)
+        ax.grid(axis="y", color=GRID, linewidth=1)
+        ax.set_ylim(bottom=0)
+        for spine in ("top", "right"):
+            ax.spines[spine].set_visible(False)
+    axes[0].legend(frameon=False, fontsize=9)
+    axes[1].set_xticks(list(x))
+    axes[1].set_xticklabels(labels, fontsize=7, rotation=30, ha="right")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", type=Path,
+                        default=REPO / "BENCH_history.jsonl")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default BENCH_history.svg/.png)")
+    parser.add_argument("--png", action="store_true",
+                        help="render PNG via matplotlib instead of plain SVG")
+    args = parser.parse_args(argv)
+
+    if not args.history.exists():
+        print(f"ERROR: no history at {args.history}; run "
+              "`python tools/run_tiers.py --bench` first", file=sys.stderr)
+        return 1
+    snapshots = load_history(args.history)
+    if not snapshots:
+        print("ERROR: history is empty", file=sys.stderr)
+        return 1
+    series = extract_series(snapshots)
+
+    suffix = ".png" if args.png else ".svg"
+    out = args.out or (REPO / f"BENCH_history{suffix}")
+    if args.png:
+        try:
+            render_png(series, out)
+        except ImportError:
+            print("ERROR: --png needs matplotlib; falling back is implicit "
+                  "via the default SVG backend (rerun without --png)",
+                  file=sys.stderr)
+            return 1
+    else:
+        render_svg(series, out)
+    print(f"wrote {out} ({len(snapshots)} snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,10 @@ hold.  The ``golden`` and ``equivalence`` markers are then run on
 their own so a regression in either regression suite is reported by
 name even though both already ran inside tier-1.
 
+A ``docs`` phase keeps the prose honest: every repo path named in
+``docs/architecture.md`` must exist and every internal link in
+``docs/*.md`` must resolve (see :func:`check_docs`).
+
 Perf is guarded too: unless ``--skip-bench-check`` is given, a final
 phase runs ``bench_replay.py --check``, which fails if replay
 throughput or the cold ``fig6 --quick`` end-to-end time regressed >25%
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import subprocess
 import sys
 import time
@@ -34,6 +39,97 @@ TIERS = [
     ("golden", ["-m", "pytest", "-q", "-m", "golden"]),
     ("equivalence", ["-m", "pytest", "-q", "-m", "equivalence"]),
 ]
+
+#: Inline-code spans that look like repo paths (checked for existence).
+_PATH_SPAN = re.compile(r"`((?:src|tools|tests|benchmarks|docs)/[^`*]+)`")
+#: Markdown links ``[text](target)``.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+
+
+def _heading_anchors(text: str) -> set:
+    """GitHub-style anchor slugs for every heading in a document.
+
+    Skips fenced code blocks (a ``# comment`` inside one is not a
+    heading) and applies GitHub's ``-1``/``-2`` suffixing for
+    duplicate headings.
+    """
+    anchors = set()
+    counts: dict = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", title).replace(" ", "-")
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_docs(repo: Path = REPO) -> "list[str]":
+    """Validate docs/: named modules exist, internal links resolve.
+
+    Returns human-readable failure strings (empty = pass).  Two rules:
+
+    * every backtick-quoted ``src/...``-style path in
+      ``docs/architecture.md`` must exist in the repository, so the
+      paper-to-code map can never name a module that was moved or
+      deleted;
+    * every relative markdown link in any ``docs/*.md`` must point at
+      an existing file (and, for ``#fragment`` links, at an existing
+      heading).
+    """
+    failures = []
+    docs = sorted((repo / "docs").glob("*.md"))
+    if not docs:
+        return ["docs/ contains no markdown files"]
+    arch = repo / "docs" / "architecture.md"
+    if not arch.exists():
+        failures.append("docs/architecture.md is missing")
+    for doc in docs:
+        text = doc.read_text(encoding="utf-8")
+        if doc == arch:
+            for span in _PATH_SPAN.findall(text):
+                path = span.split("#")[0].strip()
+                if not (repo / path).exists():
+                    failures.append(f"{doc.name}: named path {path!r} does not exist")
+        for target in _LINK.findall(text):
+            target = target.strip()
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if target[1:] not in _heading_anchors(text):
+                    failures.append(f"{doc.name}: broken anchor {target!r}")
+                continue
+            rel, _, frag = target.partition("#")
+            dest = (doc.parent / rel).resolve()
+            if not dest.exists():
+                failures.append(f"{doc.name}: broken link {target!r}")
+            elif frag and dest.suffix == ".md":
+                if frag not in _heading_anchors(dest.read_text(encoding="utf-8")):
+                    failures.append(
+                        f"{doc.name}: broken anchor {target!r} into {rel}"
+                    )
+    return failures
+
+
+def run_docs_phase() -> dict:
+    start = time.perf_counter()
+    failures = check_docs()
+    for failure in failures:
+        print(f"DOCS: {failure}", file=sys.stderr)
+    if not failures:
+        print("docs OK: architecture map paths exist, internal links resolve")
+    return {
+        "phase": "docs",
+        "status": "ok" if not failures else f"FAIL ({len(failures)})",
+        "seconds": time.perf_counter() - start,
+        "ok": not failures,
+    }
 
 
 def run_phase(name: str, argv) -> dict:
@@ -67,6 +163,8 @@ def main(argv=None) -> int:
             continue
         print(f"\n=== {name} ===")
         phases.append(run_phase(name, tier_argv))
+    print("\n=== docs ===")
+    phases.append(run_docs_phase())
     if args.bench:
         print("\n=== bench ===")
         phases.append(
