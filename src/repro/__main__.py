@@ -4,13 +4,24 @@
     python -m repro fig6 fig7            # several at once
     python -m repro all                  # every figure and table
     python -m repro fig8 --quick         # reduced interaction counts
+    python -m repro figscale --quick     # overhead vs trace length
+
+On a multi-core host every figure runs through the vector engine and a
+chunked process pool by default (``--jobs``/``--chunk``); ``--jobs 1``
+restores the serial path with bit-identical output.  ``--plot-dir DIR``
+additionally renders SVG charts for the figures that have plotters
+(fig6, fig8, figscale); ``--check-golden`` verifies a quick run
+against the pinned golden numbers (CI's scale smoke phase).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import (
     ExperimentSettings,
@@ -18,22 +29,116 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_figscale,
     run_interactivity_table,
 )
 from repro.experiments.ablations import run_all_ablations
+from repro.experiments.fig6 import plot_fig6
+from repro.experiments.fig8 import plot_fig8
+from repro.experiments.figscale import QUICK_SCALES, SCALES, plot_figscale
 from repro.experiments.store import get_store
 
+#: name -> driver(settings, quick).  ``quick`` only matters to drivers
+#: with their own quick-mode shape (figscale's reduced scale grid); the
+#: interaction-count reduction itself rides in the settings.
 EXPERIMENTS = {
-    "fig1": lambda s: run_fig1a(s),
-    "fig6": lambda s: run_fig6(s),
-    "fig7": lambda s: run_fig7(s),
-    "fig8": lambda s: run_fig8(s),
-    "tables": lambda s: run_interactivity_table(s),
-    "ablations": lambda s: run_all_ablations(s),
+    "fig1": lambda s, quick: run_fig1a(s),
+    "fig6": lambda s, quick: run_fig6(s),
+    "fig7": lambda s, quick: run_fig7(s),
+    "fig8": lambda s, quick: run_fig8(s),
+    "figscale": lambda s, quick: run_figscale(
+        s, scales=QUICK_SCALES if quick else SCALES
+    ),
+    "tables": lambda s, quick: run_interactivity_table(s),
+    "ablations": lambda s, quick: run_all_ablations(s),
 }
+
+#: Figures that can render themselves as SVG (``--plot-dir``).
+PLOTTERS = {
+    "fig6": plot_fig6,
+    "fig8": plot_fig8,
+    "figscale": plot_figscale,
+}
+
+#: Experiments whose quick payload is pinned in the golden file and can
+#: be re-checked from the CLI: name -> payload extractor.
+GOLDEN_PAYLOADS = {
+    "figscale": lambda data: data.as_payload(),
+}
+
+GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "figures_quick.json"
+
+
+def chunk_arg(value: str):
+    """Parse/validate ``--chunk`` at argparse time.
+
+    Returns ``"auto"``, ``None`` (for ``none``: one task per unit) or a
+    positive int — exactly the values
+    :func:`~repro.experiments.sweep.resolve_chunk` accepts — so a typo
+    fails as a usage error instead of mid-experiment.
+    """
+    label = value.strip().lower()
+    if label == "auto":
+        return "auto"
+    if label == "none":
+        return None
+    try:
+        chunk = int(label)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'auto' or 'none', got {value!r}"
+        ) from None
+    if chunk < 1:
+        raise argparse.ArgumentTypeError(f"chunk size must be >= 1, got {chunk}")
+    return chunk
+
+
+def default_jobs() -> int:
+    """Pool width when ``--jobs`` is not given: one worker per core.
+
+    Capped at 8 — the quick figure matrices stop scaling well before
+    that, and wider pools just multiply fork + import cost.  Single-core
+    hosts stay serial.
+    """
+    return min(8, os.cpu_count() or 1)
+
+
+def check_golden(name: str, data, quick: bool) -> int:
+    """Compare one experiment's payload against the golden file.
+
+    Returns the number of mismatches (0 = bit-identical).  Used by the
+    ``scale`` smoke phase in ``tools/run_tiers.py`` to prove a chunked
+    pooled CLI run reproduces the serially-collected golden numbers.
+    """
+    if name not in GOLDEN_PAYLOADS:
+        print(f"[check-golden: no pinned payload for {name}; skipped]")
+        return 0
+    if not quick:
+        print(f"ERROR: --check-golden requires --quick ({name} goldens "
+              "pin the quick settings)", file=sys.stderr)
+        return 1
+    if not GOLDEN_PATH.exists():
+        print(f"ERROR: no golden file at {GOLDEN_PATH}", file=sys.stderr)
+        return 1
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        golden = json.load(fh)
+    if name not in golden:
+        print(f"ERROR: golden file has no {name!r} section; refresh with "
+              "tools/update_goldens.py", file=sys.stderr)
+        return 1
+    # Round-trip through JSON so floats compare via their canonical
+    # shortest-repr doubles, exactly as the stored goldens do.
+    measured = json.loads(json.dumps(GOLDEN_PAYLOADS[name](data)))
+    if measured != golden[name]:
+        print(f"ERROR: {name} output differs from the pinned golden "
+              "numbers", file=sys.stderr)
+        return 1
+    print(f"[check-golden: {name} matches {GOLDEN_PATH.name}]")
+    return 0
 
 
 def main(argv=None) -> int:
+    """Parse arguments, run the chosen experiments, report store stats."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate IRONHIDE (HPCA 2020) evaluation results.",
@@ -60,7 +165,15 @@ def main(argv=None) -> int:
         "--jobs",
         type=int,
         default=None,
-        help="worker processes for experiment matrices (default: serial)",
+        help="worker processes for experiment matrices "
+             "(default: one per core, capped at 8; 1 = serial)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=chunk_arg,
+        default="auto",
+        help="work units per pool task: an integer, 'auto' (sized from "
+             "the pending count; default) or 'none' (one task per unit)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -78,11 +191,25 @@ def main(argv=None) -> int:
         default=None,
         help="disk cap for --cache-dir; LRU entries are evicted on write",
     )
+    parser.add_argument(
+        "--plot-dir",
+        default=None,
+        help="render SVG charts here for figures with plotters "
+             "(fig6, fig8, figscale)",
+    )
+    parser.add_argument(
+        "--check-golden",
+        action="store_true",
+        help="verify quick output against tests/golden/figures_quick.json "
+             "(supported: figscale)",
+    )
     args = parser.parse_args(argv)
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
     settings = ExperimentSettings(
         seed=args.seed,
-        jobs=args.jobs,
+        jobs=jobs if jobs > 1 else None,
+        chunk=args.chunk,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         cache_max_mb=args.cache_max_mb,
@@ -91,18 +218,27 @@ def main(argv=None) -> int:
     if args.quick:
         settings = settings.quickened(4)
 
+    failures = 0
     chosen = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in chosen:
         start = time.time()
-        EXPERIMENTS[name](settings)
+        data = EXPERIMENTS[name](settings, args.quick)
         print(f"[{name}: {time.time() - start:.1f}s]")
+        if args.plot_dir and name in PLOTTERS:
+            plot_dir = Path(args.plot_dir)
+            plot_dir.mkdir(parents=True, exist_ok=True)
+            out = plot_dir / f"{name}.svg"
+            PLOTTERS[name](data, out)
+            print(f"[{name}: wrote {out}]")
+        if args.check_golden:
+            failures += check_golden(name, data, args.quick)
     if args.cache_dir:
         stats = get_store(args.cache_dir).stats
         print(
             f"[store: {stats.hits} hits ({stats.disk_hits} from disk), "
             f"{stats.misses} misses, {stats.writes} writes -> {args.cache_dir}]"
         )
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -30,6 +30,8 @@ MACHINES = ("sgx", "mi6", "ironhide")
 
 @dataclass
 class Fig6Row:
+    """One application's completion/overhead numbers across machines."""
+
     app: str
     level: str
     completion_ms: Dict[str, float]
@@ -41,16 +43,20 @@ class Fig6Row:
 
 @dataclass
 class Fig6Data:
+    """Per-app rows plus the user/os/all normalized geomeans."""
+
     rows: List[Fig6Row]
     geomeans: Dict[str, Dict[str, float]]  # level -> machine -> normalized
 
     @property
     def mi6_over_ironhide(self) -> float:
+        """All-apps geomean MI6/IRONHIDE completion (paper ~2.1x)."""
         g = self.geomeans["all"]
         return g["mi6"] / g["ironhide"]
 
     @property
     def ironhide_gain_over_sgx(self) -> float:
+        """All-apps geomean SGX/IRONHIDE completion (paper ~1.2x)."""
         g = self.geomeans["all"]
         return g["sgx"] / g["ironhide"]
 
@@ -58,6 +64,7 @@ class Fig6Data:
 def run_fig6(
     settings: Optional[ExperimentSettings] = None, verbose: bool = True
 ) -> Fig6Data:
+    """Run the Figure 6 matrix; returns rows + normalized geomeans."""
     settings = settings or ExperimentSettings()
     # Read-only reduction over the results: skip the defensive copies.
     results = run_matrix(APPS, ("insecure",) + MACHINES, settings, copy=False)
@@ -125,3 +132,19 @@ def run_fig6(
             f"IRONHIDE gain over SGX = {data.ironhide_gain_over_sgx:.2f}x (paper ~1.2x)"
         )
     return data
+
+
+def plot_fig6(data: Fig6Data, out_path) -> None:
+    """Render the per-app normalized-completion bars as SVG."""
+    from repro.experiments.plotting import render_grouped_bars
+
+    render_grouped_bars(
+        out_path,
+        "Figure 6: completion time normalized to insecure",
+        "completion / insecure",
+        [row.app for row in data.rows],
+        {m: [row.normalized[m] for row in data.rows] for m in MACHINES},
+        series_order=list(MACHINES),
+        baseline=1.0,
+        baseline_label="insecure = 1",
+    )

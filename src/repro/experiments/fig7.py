@@ -21,6 +21,8 @@ from repro.workloads import APPS
 
 @dataclass
 class Fig7Row:
+    """One application's L1/L2 miss rates under MI6 and IRONHIDE."""
+
     app: str
     l1_mi6: float
     l1_ironhide: float
@@ -29,32 +31,40 @@ class Fig7Row:
 
     @property
     def l1_improvement(self) -> float:
+        """MI6/IRONHIDE private-L1 miss-rate ratio (>1 = IH better)."""
         return self.l1_mi6 / self.l1_ironhide if self.l1_ironhide else float("inf")
 
     @property
     def l2_improvement(self) -> float:
+        """MI6/IRONHIDE shared-L2 miss-rate ratio (>1 = IH better)."""
         return self.l2_mi6 / self.l2_ironhide if self.l2_ironhide else float("inf")
 
 
 @dataclass
 class Fig7Data:
+    """Per-app miss-rate rows for the whole Fig. 6 application mix."""
+
     rows: List[Fig7Row]
 
     @property
     def max_l1_improvement(self) -> float:
+        """Best L1 gain across apps (paper: up to ~5.9x)."""
         return max(r.l1_improvement for r in self.rows)
 
     @property
     def max_l2_improvement(self) -> float:
+        """Best L2 gain across apps (paper: up to ~2x)."""
         return max(r.l2_improvement for r in self.rows)
 
     def row(self, app_name: str) -> Fig7Row:
+        """The row for one application by name."""
         return next(r for r in self.rows if r.app == app_name)
 
 
 def run_fig7(
     settings: Optional[ExperimentSettings] = None, verbose: bool = True
 ) -> Fig7Data:
+    """Run the MI6-vs-IRONHIDE miss-rate comparison."""
     settings = settings or ExperimentSettings()
     results = run_matrix(APPS, ("mi6", "ironhide"), settings, copy=False)
     rows = [

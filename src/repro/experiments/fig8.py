@@ -16,7 +16,7 @@ without a single machine run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.experiments.reporting import geomean, print_table
 from repro.experiments.runner import ExperimentSettings
@@ -35,10 +35,12 @@ class Fig8Data:
 
     @property
     def heuristic_gain(self) -> float:
+        """Geomean speedup of the heuristic over MI6 (paper ~2.1x)."""
         return 100.0 / self.series["heuristic"]
 
     @property
     def optimal_gain(self) -> float:
+        """Geomean speedup of exhaustive search over MI6 (paper ~2.3x)."""
         return 100.0 / self.series["optimal"]
 
 
@@ -66,12 +68,14 @@ def run_fig8(
     verbose: bool = True,
     percents=VARIATION_PERCENTS,
     jobs: Optional[int] = None,
+    chunk: Union[int, str, None] = None,
 ) -> Fig8Data:
+    """Run the predictor-variant sweep; returns the MI6=100 series."""
     settings = settings or ExperimentSettings()
     variant_units = _variant_units(percents)
     mi6_units = {app.name: pair_unit(app.name, "mi6") for app in APPS}
     batch = list(mi6_units.values()) + [unit for _, unit in variant_units]
-    results = run_units(batch, settings, jobs=jobs, copy_results=False)
+    results = run_units(batch, settings, jobs=jobs, chunk=chunk, copy_results=False)
 
     order = ["heuristic", "optimal"] + [
         f"{s}{p}%" for p in percents for s in ("+", "-")
@@ -103,3 +107,19 @@ def run_fig8(
             f"Optimal gain {data.optimal_gain:.2f}x (paper ~2.3x)"
         )
     return data
+
+
+def plot_fig8(data: Fig8Data, out_path) -> None:
+    """Render the predictor-variant completion bars as SVG."""
+    from repro.experiments.plotting import render_grouped_bars
+
+    variants = [v for v in data.series if v != "mi6"]
+    render_grouped_bars(
+        out_path,
+        "Figure 8: geomean completion vs MI6 = 100 (lower is better)",
+        "completion (MI6 = 100)",
+        variants,
+        {"ironhide": [data.series[v] for v in variants]},
+        baseline=100.0,
+        baseline_label="MI6 = 100",
+    )

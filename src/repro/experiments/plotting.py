@@ -1,0 +1,357 @@
+"""Shared, dependency-free SVG rendering for figure outputs.
+
+Every chart the repo emits — the fig6/fig8 bar charts, the figscale
+overhead-vs-trace-length lines, and the ``BENCH_history.jsonl``
+trajectory panels (``tools/plot_bench_history.py``) — renders through
+the helpers here, so they share one hand-rolled SVG backend (no
+third-party dependencies), one categorical palette and one set of
+axis/legend conventions:
+
+* **Fixed color assignment.**  Series colors follow the *entity*
+  (machine or engine), never the position in a particular chart:
+  :data:`MACHINE_COLORS` and :data:`ENGINE_COLORS` are module
+  constants, so IRONHIDE is the same blue in every figure.  The
+  palette is colorblind-validated (adjacent-pair CVD distance) against
+  the light surface.
+* **One axis per panel.**  Measures with different units get separate
+  panels (:func:`line_panel` composes several into one SVG), never a
+  second y-scale.
+* **Identity is never color-alone.**  Multi-series charts carry a
+  legend plus direct labels at the line ends, and every mark embeds a
+  ``<title>`` tooltip naming its series and value.
+
+Charts are written as standalone ``.svg`` files (the CLI's
+``--plot-dir``); they render anywhere without a browser runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Fixed categorical assignment for the four machines (entity -> hue;
+#: validated order: blue, orange, purple, green keeps every adjacent
+#: pair CVD-distinguishable on the light surface).
+MACHINE_COLORS = {
+    "ironhide": "#2a78d6",
+    "mi6": "#eb6834",
+    "sgx": "#8a5cd6",
+    "insecure": "#2f9e69",
+}
+
+#: Fixed assignment for the two replay engines (bench trajectory).
+ENGINE_COLORS = {"vector": "#2a78d6", "scalar": "#eb6834"}
+
+#: Fallback categorical order for series outside the fixed maps.
+CATEGORICAL = ["#2a78d6", "#eb6834", "#8a5cd6", "#2f9e69"]
+
+SURFACE = "#fcfcfb"
+TEXT = "#0b0b0b"
+TEXT_MUTED = "#52514e"
+GRID = "#e4e3df"
+
+
+def nice_ticks(lo: float, hi: float, n: int = 4) -> List[float]:
+    """~``n`` round-valued axis ticks covering ``[lo, hi]``."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / n))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = step * math.ceil(lo / step)
+    out = []
+    v = first
+    while v <= hi + 1e-9:
+        out.append(round(v, 10))
+        v += step
+    return out
+
+
+def series_colors(names: Sequence[str], colors: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Resolve one color per series name.
+
+    Explicit ``colors`` win; otherwise the fixed machine/engine
+    assignments apply, and anything still unresolved takes the next
+    free :data:`CATEGORICAL` slot (stable in ``names`` order — colors
+    follow the entity, so filtering a chart never repaints survivors).
+    """
+    resolved: Dict[str, str] = {}
+    taken = set((colors or {}).values())
+    fallback = [c for c in CATEGORICAL if c not in taken]
+    for name in names:
+        if colors and name in colors:
+            resolved[name] = colors[name]
+        elif name in MACHINE_COLORS:
+            resolved[name] = MACHINE_COLORS[name]
+        elif name in ENGINE_COLORS:
+            resolved[name] = ENGINE_COLORS[name]
+        else:
+            resolved[name] = fallback.pop(0) if fallback else CATEGORICAL[-1]
+    return resolved
+
+
+def svg_document(parts: List[str], width: int, height: int) -> str:
+    """Wrap rendered fragments into a standalone SVG document."""
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="system-ui, sans-serif">'
+    )
+    background = f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>'
+    return "\n".join([head, background, *parts, "</svg>"]) + "\n"
+
+
+def escape(text: str) -> str:
+    """Escape a string for SVG text/attribute context."""
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def legend(parts: List[str], names: Sequence[str], colors: Dict[str, str],
+           x: float, y: float) -> None:
+    """One legend row per series (marker dot + muted text label)."""
+    for j, name in enumerate(names):
+        row_y = y + 14 * j
+        parts.append(
+            f'<circle cx="{x}" cy="{row_y - 4}" r="4" fill="{colors[name]}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 10}" y="{row_y}" fill="{TEXT_MUTED}" '
+            f'font-size="11">{escape(name)}</text>'
+        )
+
+
+def line_panel(
+    parts: List[str],
+    title: str,
+    unit: str,
+    data: Dict[str, List[Optional[float]]],
+    labels: Sequence[str],
+    *,
+    x0: float = 64,
+    width: float = 640,
+    y0: float = 48,
+    height: float = 190,
+    series_order: Optional[Sequence[str]] = None,
+    colors: Optional[Dict[str, str]] = None,
+    label_every: Optional[int] = None,
+) -> None:
+    """Render one line panel (single y-axis) into ``parts``.
+
+    ``data`` maps series name -> values over the shared ``labels``
+    axis; ``None`` values are holes ("not measured").  Lines get a
+    direct label at their last point and a ``<title>`` tooltip per
+    marker, so identity never rides on color alone.
+    """
+    order = list(series_order or data)
+    colors = series_colors(order, colors)
+    values = [v for name in order for v in data[name] if v is not None]
+    if not values:
+        return
+    lo = 0.0
+    hi = max(values) * 1.12
+    n = max(len(labels), 2)
+
+    def sx(i: float) -> float:
+        return x0 + width * (i / (n - 1))
+
+    def sy(v: float) -> float:
+        return y0 + height - height * ((v - lo) / (hi - lo))
+
+    parts.append(
+        f'<text x="{x0}" y="{y0 - 12}" fill="{TEXT}" font-size="13" '
+        f'font-weight="600">{escape(title)}</text>'
+    )
+    for tick in nice_ticks(lo, hi):
+        ty = sy(tick)
+        parts.append(
+            f'<line x1="{x0}" y1="{ty:.1f}" x2="{x0 + width}" '
+            f'y2="{ty:.1f}" stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{ty + 4:.1f}" fill="{TEXT_MUTED}" '
+            f'font-size="10" text-anchor="end">{tick:g}</text>'
+        )
+    parts.append(
+        f'<text x="{x0 - 48}" y="{y0 + height / 2:.1f}" fill="{TEXT_MUTED}" '
+        f'font-size="10" transform="rotate(-90 {x0 - 48} '
+        f'{y0 + height / 2:.1f})" text-anchor="middle">{escape(unit)}</text>'
+    )
+    for name in order:
+        color = colors[name]
+        pts = [
+            (sx(i), sy(v)) for i, v in enumerate(data[name]) if v is not None
+        ]
+        if not pts:
+            continue
+        if len(pts) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for i, v in enumerate(data[name]):
+            if v is None:
+                continue
+            mx, my = sx(i), sy(v)
+            parts.append(
+                f'<circle cx="{mx:.1f}" cy="{my:.1f}" r="4" fill="{color}" '
+                f'stroke="{SURFACE}" stroke-width="2">'
+                f"<title>{escape(name)} · {escape(labels[i])} · {v:g} "
+                f"{escape(unit)}</title></circle>"
+            )
+        # Direct label at the line's last point: text wears ink, the
+        # adjacent marker carries the series identity.
+        lx, ly = pts[-1]
+        parts.append(
+            f'<text x="{lx + 8:.1f}" y="{ly + 4:.1f}" fill="{TEXT}" '
+            f'font-size="11">{escape(name)}</text>'
+        )
+    stride = label_every or (max(1, n // 8) if n > 8 else 1)
+    for i, label in enumerate(labels):
+        if i % stride:
+            continue
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{y0 + height + 16}" fill="{TEXT_MUTED}" '
+            f'font-size="9" text-anchor="middle">{escape(label)}</text>'
+        )
+
+
+def render_lines(
+    out_path: Path,
+    title: str,
+    unit: str,
+    labels: Sequence[str],
+    data: Dict[str, List[Optional[float]]],
+    *,
+    xlabel: str = "",
+    series_order: Optional[Sequence[str]] = None,
+    colors: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write a one-panel line chart as a standalone SVG file."""
+    order = list(series_order or data)
+    resolved = series_colors(order, colors)
+    width, height = 760, 330
+    parts: List[str] = []
+    if len(order) > 1:
+        legend(parts, order, resolved, 760 - 150, 18)
+    line_panel(
+        parts, title, unit, data, labels,
+        series_order=order, colors=resolved, y0=48, height=220,
+    )
+    if xlabel:
+        parts.append(
+            f'<text x="{64 + 640 / 2}" y="{height - 8}" fill="{TEXT_MUTED}" '
+            f'font-size="10" text-anchor="middle">{escape(xlabel)}</text>'
+        )
+    Path(out_path).write_text(svg_document(parts, width, height), encoding="utf-8")
+
+
+def _bar_path(x: float, y: float, w: float, h: float, r: float) -> str:
+    """A bar anchored at the baseline with the *data end* rounded."""
+    r = min(r, w / 2, h)
+    return (
+        f"M {x:.1f} {y + h:.1f} "
+        f"L {x:.1f} {y + r:.1f} Q {x:.1f} {y:.1f} {x + r:.1f} {y:.1f} "
+        f"L {x + w - r:.1f} {y:.1f} Q {x + w:.1f} {y:.1f} {x + w:.1f} {y + r:.1f} "
+        f"L {x + w:.1f} {y + h:.1f} Z"
+    )
+
+
+def render_grouped_bars(
+    out_path: Path,
+    title: str,
+    unit: str,
+    groups: Sequence[str],
+    data: Dict[str, List[float]],
+    *,
+    series_order: Optional[Sequence[str]] = None,
+    colors: Optional[Dict[str, str]] = None,
+    baseline: Optional[float] = None,
+    baseline_label: str = "",
+) -> None:
+    """Write a grouped bar chart as a standalone SVG file.
+
+    ``data`` maps series name -> one value per group.  Bars keep a 2px
+    surface gap inside each group, round only their data end, and each
+    carries a ``<title>`` tooltip.  ``baseline`` draws one reference
+    line (e.g. the MI6 = 100 normalization anchor in fig8).
+    """
+    order = list(series_order or data)
+    resolved = series_colors(order, colors)
+    x0, plot_w = 64, 640
+    y0, plot_h = 48, 230
+    width, height = 760, y0 + plot_h + 60
+    values = [v for name in order for v in data[name]]
+    hi = max(list(values) + ([baseline] if baseline else [])) * 1.12
+    n = len(groups)
+    group_w = plot_w / max(n, 1)
+    bar_w = max(2.0, (group_w - 10) / max(len(order), 1) - 2)
+
+    def sy(v: float) -> float:
+        return y0 + plot_h - plot_h * (v / hi)
+
+    parts: List[str] = []
+    if len(order) > 1:
+        legend(parts, order, resolved, 760 - 150, 18)
+    parts.append(
+        f'<text x="{x0}" y="{y0 - 12}" fill="{TEXT}" font-size="13" '
+        f'font-weight="600">{escape(title)}</text>'
+    )
+    for tick in nice_ticks(0.0, hi):
+        ty = sy(tick)
+        parts.append(
+            f'<line x1="{x0}" y1="{ty:.1f}" x2="{x0 + plot_w}" y2="{ty:.1f}" '
+            f'stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{ty + 4:.1f}" fill="{TEXT_MUTED}" '
+            f'font-size="10" text-anchor="end">{tick:g}</text>'
+        )
+    parts.append(
+        f'<text x="{x0 - 48}" y="{y0 + plot_h / 2:.1f}" fill="{TEXT_MUTED}" '
+        f'font-size="10" transform="rotate(-90 {x0 - 48} '
+        f'{y0 + plot_h / 2:.1f})" text-anchor="middle">{escape(unit)}</text>'
+    )
+    for g, group in enumerate(groups):
+        cluster_w = len(order) * (bar_w + 2) - 2
+        start = x0 + g * group_w + (group_w - cluster_w) / 2
+        for s, name in enumerate(order):
+            v = data[name][g]
+            bx = start + s * (bar_w + 2)
+            by = sy(v)
+            parts.append(
+                f'<path d="{_bar_path(bx, by, bar_w, y0 + plot_h - by, 4)}" '
+                f'fill="{resolved[name]}">'
+                f"<title>{escape(name)} · {escape(group)} · {v:g} "
+                f"{escape(unit)}</title></path>"
+            )
+        parts.append(
+            f'<text x="{x0 + g * group_w + group_w / 2:.1f}" '
+            f'y="{y0 + plot_h + 16}" fill="{TEXT_MUTED}" font-size="9" '
+            f'text-anchor="middle" transform="rotate(-18 '
+            f'{x0 + g * group_w + group_w / 2:.1f} {y0 + plot_h + 16})">'
+            f"{escape(group)}</text>"
+        )
+    if baseline is not None:
+        by = sy(baseline)
+        parts.append(
+            f'<line x1="{x0}" y1="{by:.1f}" x2="{x0 + plot_w}" y2="{by:.1f}" '
+            f'stroke="{TEXT_MUTED}" stroke-width="1" stroke-dasharray="4 3"/>'
+        )
+        if baseline_label:
+            parts.append(
+                f'<text x="{x0 + plot_w - 4}" y="{by - 5:.1f}" '
+                f'fill="{TEXT_MUTED}" font-size="10" text-anchor="end">'
+                f"{escape(baseline_label)}</text>"
+            )
+    Path(out_path).write_text(svg_document(parts, width, height), encoding="utf-8")

@@ -39,6 +39,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], precision: in
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3) -> None:
+    """Print a titled ASCII table (the drivers' ``verbose`` output)."""
     print(f"\n== {title} ==")
     print(format_table(headers, rows, precision))
 

@@ -13,11 +13,14 @@ Three scaling features sit on top of the per-pair :func:`run_one`:
   still writes completed runs back.
 
 * **Parallel execution.**  ``jobs=N`` fans the (app, machine) pairs out
-  over a process pool.  Workers ship back their predictor-calibration
-  caches, which are merged into the caller's settings so subsequent
-  serial runs stay warm.  ``jobs=None``/``1`` keeps the serial path
-  (the default: the pairs are coarse enough that forking only pays off
-  on multi-core hosts).
+  over a process pool; ``chunk`` batches whole groups of pairs per pool
+  task so fork/pickle cost is amortized on wide matrices (``"auto"``
+  sizes chunks from the pending count — see
+  :func:`~repro.experiments.sweep.resolve_chunk`).  Workers ship back
+  their predictor-calibration caches, which are merged into the
+  caller's settings so subsequent serial runs stay warm.
+  ``jobs=None``/``1`` keeps the serial path (the library default; the
+  CLI turns the pool on whenever the host has more than one core).
 
 * **Work units.**  The matrix is decomposed into
   :class:`~repro.experiments.sweep.WorkUnit`\\ s and driven through
@@ -29,7 +32,7 @@ Three scaling features sit on top of the per-pair :func:`run_one`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.experiments import store as store_mod
@@ -78,6 +81,8 @@ class ExperimentSettings:
     calibration_cache: Dict = field(default_factory=dict)
     # Default worker count for run_matrix / run_units (None/1 = serial).
     jobs: Optional[int] = None
+    # Units per pool task: an int, "auto", or None (one task per unit).
+    chunk: Union[int, str, None] = None
     # Disk persistence for the result store (None = memory only).
     cache_dir: Optional[str] = None
     # Bypass store reads (still writes completed runs back).
@@ -88,11 +93,13 @@ class ExperimentSettings:
 
     @property
     def cache_max_bytes(self) -> Optional[int]:
+        """``cache_max_mb`` converted to bytes (``None`` = unbounded)."""
         if self.cache_max_mb is None:
             return None
         return int(self.cache_max_mb * 1024 * 1024)
 
     def interactions_for(self, app: AppSpec) -> Optional[int]:
+        """The override count for ``app``'s level (``None`` = default)."""
         return self.n_user if app.level == "user" else self.n_os
 
     def quickened(self, factor: int) -> "ExperimentSettings":
@@ -115,6 +122,7 @@ class ExperimentSettings:
             seed=self.seed,
             calibration_cache=self.calibration_cache,
             jobs=self.jobs,
+            chunk=self.chunk,
             cache_dir=self.cache_dir,
             no_cache=self.no_cache,
             cache_max_mb=self.cache_max_mb,
@@ -163,16 +171,19 @@ def run_matrix(
     jobs: Optional[int] = None,
     cache: bool = True,
     copy: bool = True,
+    chunk: Union[int, str, None] = None,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (app, machine) pair; returns results keyed by names.
 
-    ``jobs`` > 1 distributes the pairs over a process pool.
-    ``cache=False`` (like ``settings.no_cache``) bypasses store
-    *reads*, forcing recomputation; completed runs are still written
-    back so later cached callers benefit.  ``copy=False`` skips the
-    defensive deep copy of store hits — for read-only callers like the
-    figure drivers, which immediately reduce the results without
-    mutating them.
+    ``jobs`` > 1 distributes the pairs over a process pool; ``chunk``
+    batches pairs per pool task (an int, ``"auto"``, or ``None`` for
+    ``settings.chunk`` / per-unit tasks).  ``cache=False`` (like
+    ``settings.no_cache``) bypasses store *reads*, forcing
+    recomputation; completed runs are still written back so later
+    cached callers benefit.  ``copy=False`` skips the defensive deep
+    copy of store hits — for read-only callers like the figure
+    drivers, which immediately reduce the results without mutating
+    them.
     """
     from repro.experiments.sweep import pair_unit, run_units
 
@@ -185,6 +196,6 @@ def run_matrix(
         for machine_name in machines
     ]
     payloads = run_units(
-        units, settings, jobs=jobs, cache=cache, copy_results=copy
+        units, settings, jobs=jobs, cache=cache, copy_results=copy, chunk=chunk
     )
     return {(unit.app, unit.machine): payloads[unit] for unit in units}

@@ -149,6 +149,16 @@ class StoreStats:
             "invalid": self.invalid,
         }
 
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold another store's counters in.
+
+        Chunk workers run with their own store instance in a separate
+        process and ship its counters home, so the parent's stats keep
+        describing the whole sweep.
+        """
+        for name, value in other.items():
+            setattr(self, name, getattr(self, name) + value)
+
 
 class ResultStore:
     """Two-layer (memory over optional disk) memoization of runs.
@@ -220,16 +230,23 @@ class ResultStore:
 
     # -- store -------------------------------------------------------
 
-    def put(self, key: Tuple, value) -> None:
+    def put(self, key: Tuple, value, persist: bool = True) -> None:
         """Memoize ``value``; persist it when a cache dir is configured.
 
         The store keeps its own deep copy so later caller-side mutation
-        cannot corrupt cached entries.
+        cannot corrupt cached entries.  ``persist=False`` skips the disk
+        write (memory-layer memoization only): the chunked sweep
+        scheduler uses it when a pool worker already published the entry
+        through the shared cache directory, so the parent does not
+        duplicate the write (or its ``writes`` accounting).
         """
         self._memory[key] = copy.deepcopy(value)
-        self.stats.writes += 1
         if self.cache_dir is None:
+            self.stats.writes += 1
             return
+        if not persist:
+            return
+        self.stats.writes += 1
         payload = {
             "schema": SCHEMA_VERSION,
             "model": MODEL_VERSION,

@@ -15,21 +15,40 @@ persistent :mod:`~repro.experiments.store`:
   lets a second invocation of any figure complete without a single
   machine run.
 
+**Chunked pool tasks.**  By default the pool receives one task per
+unit, which pays one fork + settings pickle per unit — fine for coarse
+units, wasteful for wide matrices.  ``chunk`` batches whole groups of
+units per pool task (:func:`resolve_chunk` sizes ``"auto"`` chunks from
+the pending count and worker count); each chunk worker executes its
+units in order and, when a cache directory is configured, writes every
+result straight through the shared store directory (atomic
+write-then-rename, so concurrent writers keep the store valid) and
+re-checks the directory before executing a unit, skipping work a
+sibling process already persisted.  Chunked, per-unit-pooled and serial
+execution are bit-identical: results are keyed by unit, never by
+completion order or worker identity.
+
 New unit kinds register an executor with :func:`unit_runner`; executors
 are plain module-level functions so units stay picklable for the pool.
 """
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.experiments import runner as _runner
-from repro.experiments.store import get_store
+from repro.experiments.store import ResultStore, get_store
 from repro.workloads import get_app
+
+#: ``"auto"`` chunking targets this many chunks per pool worker: big
+#: enough chunks to amortize fork/pickle cost, small enough that a slow
+#: chunk cannot leave the other workers idle for long.
+AUTO_CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -113,24 +132,93 @@ def _run_unit_worker(args: Tuple[WorkUnit, object]):
     return unit, payload, settings.calibration_cache
 
 
+def _run_chunk_worker(args: Tuple[Tuple[WorkUnit, ...], object]):
+    """Pool entry point for one *chunk* of units.
+
+    Executes its units in order, amortizing the fork + settings pickle
+    over the whole chunk.  With a cache directory configured the worker
+    runs write-through: every fresh result is published to the shared
+    store directory immediately (atomic rename — concurrent writers
+    leave exactly one valid file, last writer wins), and each unit is
+    re-checked against the directory first so work persisted by a
+    sibling process since the parent's scan is skipped instead of
+    recomputed.  ``no_cache`` disables that warm re-check but keeps the
+    write-through.
+
+    Returns ``(pairs, calibration_cache, store_stats)`` where ``pairs``
+    is ``[(unit, payload), ...]`` in chunk order and ``store_stats``
+    are this worker's store counters for the parent to fold in.
+    """
+    chunk_units, settings = args
+    # A private store instance (not the interned one): its counters
+    # start at zero, so the parent can merge them without double
+    # counting state inherited over ``fork``.
+    store = ResultStore(settings.cache_dir, max_bytes=settings.cache_max_bytes)
+    read = store.cache_dir is not None and not settings.no_cache
+    pairs = []
+    for unit in chunk_units:
+        key = unit_cache_key(unit, settings)
+        payload = store.get(key, copy_result=False) if read else None
+        if payload is None:
+            payload = execute_unit(unit, settings)
+            if store.cache_dir is not None:
+                store.put(key, payload)
+        pairs.append((unit, payload))
+    return pairs, settings.calibration_cache, store.stats.as_dict()
+
+
+def resolve_chunk(chunk: Union[int, str, None], n_pending: int, jobs: int) -> Optional[int]:
+    """Concrete chunk size (or ``None`` for legacy per-unit tasks).
+
+    ``"auto"`` targets :data:`AUTO_CHUNKS_PER_WORKER` chunks per worker:
+    ``ceil(n_pending / (jobs * AUTO_CHUNKS_PER_WORKER))`` units per
+    task.  That amortizes fork/pickle cost across the chunk while
+    keeping enough tasks in flight that one slow chunk cannot starve
+    the pool.  Integer values (or integer strings) are used as given;
+    ``None`` / ``"none"`` selects the per-unit path.
+    """
+    if chunk is None:
+        return None
+    if isinstance(chunk, str):
+        label = chunk.strip().lower()
+        if label == "none":
+            return None
+        if label == "auto":
+            return max(1, math.ceil(n_pending / (jobs * AUTO_CHUNKS_PER_WORKER)))
+        chunk = int(label)
+    if chunk < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk}")
+    return chunk
+
+
 def run_units(
     units: Iterable[WorkUnit],
     settings=None,
     jobs: Optional[int] = None,
     cache: bool = True,
     copy_results: bool = True,
+    chunk: Union[int, str, None] = None,
 ) -> Dict[WorkUnit, object]:
     """Run every unit; returns payloads keyed by unit.
 
     ``jobs`` > 1 shards pending units over a process pool (default:
-    ``settings.jobs``).  ``cache=False`` or ``settings.no_cache``
-    bypasses store reads; completed units are always written back.
+    ``settings.jobs``).  ``chunk`` batches units per pool task — an
+    integer size, ``"auto"`` (sized by :func:`resolve_chunk`), or
+    ``None`` (default: ``settings.chunk``, falling back to one task per
+    unit).  ``cache=False`` or ``settings.no_cache`` bypasses store
+    reads; completed units are always written back.
     ``copy_results=False`` returns stored objects directly for
     read-only callers (see :meth:`ResultStore.get`).
+
+    Serial, per-unit pooled and chunked execution are bit-identical:
+    units are independent and results are keyed by unit, not by
+    completion order.
     """
     settings = settings or _runner.ExperimentSettings()
     if jobs is None:
         jobs = settings.jobs
+    if chunk is None:
+        chunk = getattr(settings, "chunk", None)
     units = list(units)
     store = get_store(settings.cache_dir, max_bytes=settings.cache_max_bytes)
     read = cache and not settings.no_cache
@@ -144,22 +232,50 @@ def run_units(
         elif unit not in results and unit not in pending:
             pending.append(unit)
 
+    chunked = False
     if pending and jobs and jobs > 1:
         # Ship pared-down settings: the calibration cache can hold
         # arbitrarily large state and every worker rebuilds what it
-        # needs anyway.
-        worker_settings = replace(settings, calibration_cache={}, jobs=None)
-        tasks = [(unit, worker_settings) for unit in pending]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for unit, payload, calib in pool.map(_run_unit_worker, tasks):
-                settings.calibration_cache.update(calib)
-                results[unit] = payload
+        # needs anyway.  ``cache=False`` must force recomputation in
+        # the chunk workers too, so it rides along as ``no_cache``.
+        worker_settings = replace(
+            settings, calibration_cache={}, jobs=None, chunk=None,
+            no_cache=settings.no_cache or not cache,
+        )
+        size = resolve_chunk(chunk, len(pending), jobs)
+        if size is not None:
+            chunked = True
+            chunks = [
+                tuple(pending[i : i + size])
+                for i in range(0, len(pending), size)
+            ]
+            tasks = [(chunk_units, worker_settings) for chunk_units in chunks]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                for pairs, calib, stats in pool.map(_run_chunk_worker, tasks):
+                    settings.calibration_cache.update(calib)
+                    # A worker's per-unit re-check misses the same keys
+                    # the parent scan above already counted as misses —
+                    # merge only the new information (writes, and disk
+                    # hits from the sibling-skip fast path).
+                    stats.pop("misses", None)
+                    store.stats.merge(stats)
+                    for unit, payload in pairs:
+                        results[unit] = payload
+        else:
+            tasks = [(unit, worker_settings) for unit in pending]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for unit, payload, calib in pool.map(_run_unit_worker, tasks):
+                    settings.calibration_cache.update(calib)
+                    results[unit] = payload
     else:
         for unit in pending:
             results[unit] = execute_unit(unit, settings)
 
+    # Chunk workers already published through the shared directory;
+    # memoize their payloads here without duplicating the disk write.
+    persist = not (chunked and settings.cache_dir is not None)
     for unit in pending:
-        store.put(unit_cache_key(unit, settings), results[unit])
+        store.put(unit_cache_key(unit, settings), results[unit], persist=persist)
     return results
 
 
@@ -178,8 +294,38 @@ def _run_pair(unit: WorkUnit, settings):
     return _runner.run_one(get_app(unit.app), unit.machine, settings)
 
 
-#: Predictor variants for ``predicted`` units: spec -> constructor.
+def scaled_pair_unit(app_name: str, machine_name: str, scale: float) -> WorkUnit:
+    """One (app, machine) run with ``AppSpec.trace_scale`` overridden.
+
+    The scale rides in ``params`` (and therefore in the store key), so
+    scaled runs never collide with the default-length ``pair`` results
+    even though the registered app's own ``trace_scale`` stays 1.0.
+    """
+    return WorkUnit(
+        "scaled_pair",
+        app=app_name,
+        machine=machine_name,
+        variant=f"x{scale:g}",
+        params=(float(scale),),
+    )
+
+
+@unit_runner("scaled_pair")
+def _run_scaled_pair(unit: WorkUnit, settings):
+    """Run one pair with the app's per-interaction traces scaled."""
+    from dataclasses import replace as replace_spec
+
+    app = replace_spec(get_app(unit.app), trace_scale=float(unit.params[0]))
+    return _runner.run_one(app, unit.machine, settings)
+
+
 def build_predictor(spec: Tuple):
+    """Instantiate the re-allocation predictor a ``predicted`` unit names.
+
+    ``spec`` is ``(kind, *constructor_args)`` with ``kind`` one of
+    ``heuristic`` / ``optimal`` / ``fixed`` / ``static`` — plain
+    hashable values so the spec can ride in :attr:`WorkUnit.params`.
+    """
     from repro.secure.predictor import (
         FixedVariationPredictor,
         GradientHeuristicPredictor,

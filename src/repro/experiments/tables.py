@@ -25,6 +25,8 @@ from repro.workloads import APPS
 
 @dataclass
 class InteractivityRow:
+    """One app's interactivity/purge characterization numbers."""
+
     app: str
     level: str
     interactivity_hz: float  # entry/exit pairs per second, insecure pace
@@ -36,22 +38,28 @@ class InteractivityRow:
 
 @dataclass
 class InteractivityData:
+    """Per-app rows plus the paper's summary statistics."""
+
     rows: List[InteractivityRow]
 
     @property
     def user_rate(self) -> float:
+        """Geomean user-level entry/exit events per second (paper ~400)."""
         return geomean([r.interactivity_hz for r in self.rows if r.level == "user"])
 
     @property
     def os_rate(self) -> float:
+        """Geomean OS-level entry/exit events per second (paper ~220K)."""
         return geomean([r.interactivity_hz for r in self.rows if r.level == "os"])
 
     @property
     def mean_purge_share(self) -> float:
+        """Mean share of MI6 completion spent purging (paper ~47%)."""
         return sum(r.purge_share_mi6 for r in self.rows) / len(self.rows)
 
     @property
     def geomean_purge_improvement(self) -> float:
+        """Geomean full-scale purge-time gain, finite entries only."""
         finite = [
             r.fullscale_purge_improvement
             for r in self.rows
@@ -63,6 +71,7 @@ class InteractivityData:
 def run_interactivity_table(
     settings: Optional[ExperimentSettings] = None, verbose: bool = True
 ) -> InteractivityData:
+    """Reproduce the §IV-B / §V characterization scalars."""
     settings = settings or ExperimentSettings()
     results = run_matrix(
         APPS, ("insecure", "mi6", "ironhide"), settings, copy=False

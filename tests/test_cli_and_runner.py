@@ -46,7 +46,9 @@ class TestRunner:
 
 class TestCli:
     def test_registry_covers_all_figures(self):
-        assert {"fig1", "fig6", "fig7", "fig8", "tables", "ablations"} <= set(EXPERIMENTS)
+        assert {
+            "fig1", "fig6", "fig7", "fig8", "figscale", "tables", "ablations"
+        } <= set(EXPERIMENTS)
 
     def test_fig1_quick_run(self, capsys):
         assert main(["fig1", "--quick"]) == 0
@@ -57,6 +59,12 @@ class TestCli:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_rejects_bad_chunk_values(self):
+        """A --chunk typo is a usage error, not a mid-run traceback."""
+        for bad in ("two", "0", "-1"):
+            with pytest.raises(SystemExit):
+                main(["fig1", "--quick", "--chunk", bad])
 
     def test_requires_an_argument(self):
         with pytest.raises(SystemExit):
@@ -77,10 +85,11 @@ class TestQuickenedOverrides:
         assert quick.n_os == 8
 
     def test_quickened_preserves_other_knobs(self):
-        base = ExperimentSettings(n_user=8, seed=3, jobs=2)
+        base = ExperimentSettings(n_user=8, seed=3, jobs=2, chunk="auto")
         quick = base.quickened(2)
         assert quick.seed == 3
         assert quick.jobs == 2
+        assert quick.chunk == "auto"
         assert quick.calibration_cache is base.calibration_cache
 
 
@@ -143,28 +152,39 @@ class TestResultCache:
 
 class TestPersistentSweeps:
     def test_fig8_quick_warm_cache_dir_zero_machine_runs(self, tmp_path, monkeypatch):
-        """Second ``fig8 --quick`` invocation against a warm cache dir
-        must complete on store hits alone — zero machine runs — even
-        with the in-process memory layer dropped."""
+        """A chunked-pool ``fig8 --quick`` run must leave a cache dir a
+        second (serial) invocation completes from on store hits alone —
+        zero machine runs — even with the in-process memory layer
+        dropped.  Warm hits also prove the chunk workers' write-through
+        produced the exact keys the serial path derives."""
         cache_dir = str(tmp_path / "results")
-        assert main(["fig8", "--quick", "--cache-dir", cache_dir]) == 0
+        assert main(["fig8", "--quick", "--cache-dir", cache_dir,
+                     "--jobs", "4", "--chunk", "auto"]) == 0
         runner_mod.clear_result_cache()  # disk is all that's left
 
         def no_runs(*args, **kwargs):
             raise AssertionError("machine run despite a warm result store")
 
         monkeypatch.setattr(runner_mod, "run_one", no_runs)
-        assert main(["fig8", "--quick", "--cache-dir", cache_dir]) == 0
+        assert main(["fig8", "--quick", "--cache-dir", cache_dir,
+                     "--jobs", "1"]) == 0
 
     def test_fig8_jobs_invariance(self):
-        """fig8 output is identical with --jobs 1 and --jobs 4."""
+        """fig8 output is identical serial, per-unit pooled and chunked."""
         from repro.experiments.fig8 import run_fig8
 
         runs = {}
-        for jobs in (1, 4):
+        for label, jobs, chunk in (
+            ("serial", 1, None),
+            ("pooled", 4, None),
+            ("chunked", 4, "auto"),
+            ("chunk-2", 4, 2),
+        ):
             settings = ExperimentSettings(n_user=2, n_os=4, no_cache=True)
-            runs[jobs] = run_fig8(settings, verbose=False, percents=(5,), jobs=jobs)
-        assert runs[1] == runs[4]
+            runs[label] = run_fig8(
+                settings, verbose=False, percents=(5,), jobs=jobs, chunk=chunk
+            )
+        assert runs["serial"] == runs["pooled"] == runs["chunked"] == runs["chunk-2"]
 
     def test_ablations_jobs_invariance(self):
         """Every ablation is identical with --jobs 1 and --jobs 4."""
@@ -199,3 +219,100 @@ class TestParallelRunMatrix:
             jobs=2, cache=False,
         )
         assert len(settings.calibration_cache) == 1
+
+    def test_chunked_pool_merges_calibration_caches(self):
+        runner_mod.clear_result_cache()
+        settings = ExperimentSettings(n_user=2, n_os=4)
+        run_matrix(
+            [get_app("<AES, QUERY>")], ("ironhide",), settings,
+            jobs=2, chunk=1, cache=False,
+        )
+        assert len(settings.calibration_cache) == 1
+
+
+class TestChunking:
+    """Chunk sizing and the chunked pool's scheduling contracts."""
+
+    def test_auto_chunk_targets_chunks_per_worker(self):
+        from repro.experiments.sweep import AUTO_CHUNKS_PER_WORKER, resolve_chunk
+
+        # 99 pending over 4 workers -> ceil(99 / (4 * target)) per task.
+        expected = -(-99 // (4 * AUTO_CHUNKS_PER_WORKER))
+        assert resolve_chunk("auto", 99, 4) == expected
+        # Never zero, even when the pool is wider than the work.
+        assert resolve_chunk("auto", 1, 8) == 1
+
+    def test_resolve_chunk_values(self):
+        from repro.experiments.sweep import resolve_chunk
+
+        assert resolve_chunk(None, 10, 4) is None
+        assert resolve_chunk("none", 10, 4) is None
+        assert resolve_chunk(3, 10, 4) == 3
+        assert resolve_chunk("3", 10, 4) == 3
+        with pytest.raises(ValueError):
+            resolve_chunk(0, 10, 4)
+
+    def test_chunked_matrix_matches_serial(self):
+        runner_mod.clear_result_cache()
+        apps = [get_app("<AES, QUERY>"), get_app("<MEMCACHED, OS>")]
+        machines = ("insecure", "sgx")
+        serial = run_matrix(
+            apps, machines, ExperimentSettings(n_user=2, n_os=4), cache=False
+        )
+        chunked = run_matrix(
+            apps, machines, ExperimentSettings(n_user=2, n_os=4),
+            jobs=2, chunk="auto", cache=False,
+        )
+        assert serial == chunked
+
+    def test_settings_chunk_is_the_default(self, monkeypatch):
+        """run_units falls back to ``settings.chunk`` when the call
+        site does not pass one (the CLI wires --chunk through here)."""
+        from repro.experiments import sweep as sweep_mod
+        from repro.experiments.sweep import pair_unit, run_units
+
+        seen = {}
+        real = sweep_mod.resolve_chunk
+
+        def spy(chunk, n, jobs):
+            seen["chunk"] = chunk
+            return real(chunk, n, jobs)
+
+        monkeypatch.setattr(sweep_mod, "resolve_chunk", spy)
+        settings = ExperimentSettings(n_user=2, n_os=4, chunk=2, no_cache=True)
+        run_units([pair_unit("<AES, QUERY>", "insecure"),
+                   pair_unit("<AES, QUERY>", "sgx")], settings, jobs=2)
+        assert seen["chunk"] == 2
+
+    def test_chunked_store_stats_not_double_counted(self, tmp_path):
+        """A cold chunked sweep reports one miss and one write per
+        unit: the workers' per-unit re-checks must not re-merge the
+        misses the parent scan already counted."""
+        from repro.experiments import store as store_mod
+        from repro.experiments.sweep import pair_unit, run_units
+
+        store_mod.reset_stores()
+        runner_mod.clear_result_cache()
+        settings = ExperimentSettings(n_user=2, n_os=4, cache_dir=str(tmp_path))
+        units = [pair_unit("<AES, QUERY>", m) for m in ("insecure", "sgx")]
+        run_units(units, settings, jobs=2, chunk=1)
+        stats = store_mod.get_store(str(tmp_path)).stats
+        assert stats.misses == len(units)
+        assert stats.writes == len(units)
+
+    def test_no_cache_forces_recompute_in_chunk_workers(self, tmp_path):
+        """``no_cache`` must bypass the chunk workers' warm-read fast
+        path too, not only the parent's pre-scan."""
+        from repro.experiments import sweep as sweep_mod
+        from repro.experiments.sweep import pair_unit, run_units
+
+        settings = ExperimentSettings(n_user=2, n_os=4, cache_dir=str(tmp_path))
+        unit = pair_unit("<AES, QUERY>", "insecure")
+        run_units([unit], settings)  # persists the result
+
+        chunk_settings = ExperimentSettings(
+            n_user=2, n_os=4, cache_dir=str(tmp_path), no_cache=True
+        )
+        _, _, stats = sweep_mod._run_chunk_worker(((unit,), chunk_settings))
+        assert stats["memory_hits"] == 0 and stats["disk_hits"] == 0
+        assert stats["writes"] == 1  # recomputed and re-published

@@ -3,34 +3,46 @@
 Two kinds of honesty checks:
 
 * **Docstring presence** for the modules whose public surface carries
-  caching contracts (`sim/bundle.py`, `arch/batch_replay.py`,
-  `experiments/store.py`): every public class, function and public
-  method must have a docstring, so cache keys and invalidation rules
-  stay documented next to the code.
+  caching or scheduling contracts: `sim/bundle.py`,
+  `arch/batch_replay.py`, and the whole `experiments/` package (store
+  keys, chunked-pool semantics, figure drivers, plotting helpers) —
+  every public class, function, method and property must have a
+  docstring, so cache keys, invalidation rules and pool contracts stay
+  documented next to the code.
 * **docs/ integrity** via :func:`run_tiers.check_docs`: every module
-  path named in ``docs/architecture.md`` exists and every internal
-  link in ``docs/*.md`` resolves.
+  path named in ``docs/architecture.md`` / ``docs/experiments.md`` /
+  ``docs/scaling.md`` exists and every internal link in ``docs/*.md``
+  resolves.
 """
 
 from __future__ import annotations
 
+import importlib
 import importlib.util
 import inspect
+import pkgutil
 from pathlib import Path
 
 import pytest
 
 import repro.arch.batch_replay
+import repro.experiments
 import repro.experiments.store
 import repro.sim.bundle
 
 REPO = Path(__file__).resolve().parent.parent
 
+#: Every module in the experiments package (drivers, sweep scheduler,
+#: store, plotting, golden collection) is docstring-gated.
+EXPERIMENT_MODULES = [
+    importlib.import_module(f"repro.experiments.{info.name}")
+    for info in pkgutil.iter_modules(repro.experiments.__path__)
+]
+
 DOCUMENTED_MODULES = [
     repro.sim.bundle,
     repro.arch.batch_replay,
-    repro.experiments.store,
-]
+] + EXPERIMENT_MODULES
 
 
 def _public_objects(module):

@@ -190,3 +190,110 @@ class TestAblations:
     def test_replication_helps_baseline(self, settings):
         out = ablate_replication(settings, verbose=False)
         assert out["replication-on"] < out["replication-off"]
+
+
+class TestFigScale:
+    """The trace-length overhead sweep (figscale driver)."""
+
+    @pytest.fixture(scope="class")
+    def figscale(self):
+        from repro.experiments.figscale import run_figscale
+
+        settings = ExperimentSettings(n_user=16, n_os=32)  # driver divides by 8
+        return run_figscale(settings, scales=(1.0, 4.0), verbose=False)
+
+    def test_shape(self, figscale):
+        assert figscale.scales == (1.0, 4.0)
+        for level in ("user", "os", "all"):
+            for machine in ("sgx", "mi6", "ironhide"):
+                assert len(figscale.normalized[level][machine]) == 2
+
+    def test_driver_divides_interaction_counts(self, figscale):
+        assert figscale.n_user == 4  # floor of 16 // 8
+        assert figscale.n_os == 8  # floor applied
+
+    def test_mi6_overhead_amortizes_with_trace_length(self, figscale):
+        """Per-crossing purges are ~fixed per interaction, so longer
+        traces dilute them: MI6's normalized overhead must fall."""
+        series = figscale.normalized["all"]["mi6"]
+        assert series[-1] < series[0]
+        assert figscale.mi6_amortization > 1.0
+
+    def test_ironhide_overhead_stays_flat(self, figscale):
+        """No per-crossing term to amortize: IRONHIDE's normalized
+        completion moves far less than MI6's."""
+        ih = figscale.normalized["all"]["ironhide"]
+        mi6 = figscale.normalized["all"]["mi6"]
+        ih_drift = abs(ih[-1] / ih[0] - 1.0)
+        mi6_drift = abs(mi6[-1] / mi6[0] - 1.0)
+        assert ih_drift < mi6_drift
+
+    def test_payload_round_trips_json(self, figscale):
+        import json
+
+        payload = figscale.as_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["scales"] == [1.0, 4.0]
+
+
+class TestPlotting:
+    """The shared SVG helpers render well-formed, labeled charts."""
+
+    @staticmethod
+    def _parse(path):
+        import xml.etree.ElementTree as ET
+
+        return ET.parse(path).getroot()
+
+    def test_render_lines_svg(self, tmp_path):
+        from repro.experiments.plotting import render_lines
+
+        out = tmp_path / "lines.svg"
+        render_lines(
+            out, "t", "unit", ["1x", "2x", "4x"],
+            {"mi6": [2.0, 1.8, 1.6], "ironhide": [1.0, 1.0, None]},
+        )
+        root = self._parse(out)
+        text = out.read_text()
+        assert "mi6" in text and "ironhide" in text  # legend + end labels
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f".//{ns}polyline")) == 2
+        # A None value is a hole, not a zero: 5 markers, not 6.
+        markers = [c for c in root.iter(f"{ns}circle") if c.get("stroke")]
+        assert len(markers) == 5
+
+    def test_render_grouped_bars_svg(self, tmp_path):
+        from repro.experiments.plotting import render_grouped_bars
+
+        out = tmp_path / "bars.svg"
+        render_grouped_bars(
+            out, "t", "unit", ["a", "b"],
+            {"mi6": [2.0, 1.5], "ironhide": [1.0, 0.9]},
+            baseline=1.0, baseline_label="base",
+        )
+        root = self._parse(out)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f".//{ns}path")) == 4  # 2 groups x 2 series
+        assert "base" in out.read_text()
+
+    def test_machine_colors_are_fixed(self):
+        """Color follows the entity: filtering series never repaints."""
+        from repro.experiments.plotting import MACHINE_COLORS, series_colors
+
+        full = series_colors(["sgx", "mi6", "ironhide"])
+        filtered = series_colors(["mi6", "ironhide"])
+        assert full["mi6"] == filtered["mi6"] == MACHINE_COLORS["mi6"]
+
+    def test_figure_plotters_write_svg(self, tmp_path, settings):
+        from repro.experiments import run_fig6
+        from repro.experiments.fig6 import plot_fig6
+        from repro.experiments.figscale import plot_figscale, run_figscale
+
+        fig6 = run_fig6(settings, verbose=False)
+        plot_fig6(fig6, tmp_path / "fig6.svg")
+        self._parse(tmp_path / "fig6.svg")
+
+        scale_settings = ExperimentSettings(n_user=16, n_os=32)
+        data = run_figscale(scale_settings, scales=(1.0, 2.0), verbose=False)
+        plot_figscale(data, tmp_path / "figscale.svg")
+        self._parse(tmp_path / "figscale.svg")

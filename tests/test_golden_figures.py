@@ -1,8 +1,9 @@
 """Golden-number regression suite (marker ``golden``, tier-1).
 
 Freezes the per-(app, machine) speedup/latency numbers of the quick
-Figure 1/6/7/8 runs plus all five ablations (homing, routing, binding,
-purge anatomy, replication) in ``tests/golden/figures_quick.json`` and
+Figure 1/6/7/8 runs, the quick trace-length overhead sweep (figscale)
+plus all five ablations (homing, routing, binding, purge anatomy,
+replication) in ``tests/golden/figures_quick.json`` and
 asserts **bit-exact** equality on both replay engines.  Any drift means
 the performance model changed: if intentional, bump
 ``repro.experiments.store.MODEL_VERSION`` and refresh with
@@ -69,6 +70,13 @@ def test_fig8_bit_exact(golden, measured):
     """Predictor-variant series and chosen cluster sizes stay frozen."""
     assert measured["fig8"]["series"] == golden["fig8"]["series"]
     assert measured["fig8"]["secure_cores"] == golden["fig8"]["secure_cores"]
+
+
+def test_figscale_bit_exact(golden, measured):
+    """The trace-length overhead sweep stays frozen on both engines
+    (scales, per-level normalized series and the derived counts)."""
+    assert measured["figscale"] == golden["figscale"]
+    assert golden["figscale"]["scales"] == [1.0, 2.0, 4.0, 8.0]
 
 
 def test_ablation_homing_bit_exact(golden, measured):

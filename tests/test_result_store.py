@@ -171,6 +171,72 @@ class TestConcurrency:
         assert results[("<AES, QUERY>", "insecure")].app == "<AES, QUERY>"
 
 
+class TestChunkWorkerConcurrency:
+    """Chunk workers share one store directory; races must stay safe."""
+
+    UNITS_SCRIPT = (
+        "from repro.experiments.runner import ExperimentSettings\n"
+        "from repro.experiments.sweep import WorkUnit, run_units\n"
+        "units = [WorkUnit('routing', params=(r, c))\n"
+        "         for r, c in ((2, 2), (2, 3), (3, 2), (3, 3))]\n"
+        "settings = ExperimentSettings(cache_dir={cache_dir!r})\n"
+        "run_units(units, settings, jobs=2, chunk=1)\n"
+    )
+
+    def _routing_units(self):
+        from repro.experiments.sweep import WorkUnit
+
+        return [
+            WorkUnit("routing", params=(r, c))
+            for r, c in ((2, 2), (2, 3), (3, 2), (3, 3))
+        ]
+
+    def test_concurrent_chunked_sweeps_leave_valid_store(self, tmp_path):
+        """Two whole processes each run a chunked pooled sweep over the
+        same units and the same cache directory at once.  Every writer
+        publishes with an atomic rename, so the surviving store must be
+        valid and bit-identical to a serial recompute."""
+        script = self.UNITS_SCRIPT.format(cache_dir=str(tmp_path))
+        env = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
+        cwd = Path(__file__).parent.parent
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script], env=env, cwd=cwd)
+            for _ in range(2)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        assert not list(Path(tmp_path).rglob("*.tmp"))
+
+        from repro.experiments.sweep import execute_unit, unit_cache_key
+
+        settings = ExperimentSettings()
+        fresh = ResultStore(tmp_path)
+        for unit in self._routing_units():
+            stored = fresh.get(unit_cache_key(unit, settings))
+            assert stored == execute_unit(unit, settings), unit
+        assert fresh.stats.invalid == 0
+
+    def test_chunk_worker_skips_units_a_sibling_persisted(self, tmp_path):
+        """The warm-read fast path: a unit persisted to the shared
+        directory after the parent's scan is read back, not re-run."""
+        from repro.experiments import sweep as sweep_mod
+        from repro.experiments.sweep import unit_cache_key
+
+        units = self._routing_units()
+        settings = ExperimentSettings(cache_dir=str(tmp_path))
+        sentinel = {"pairs": -1, "xy_only_escapes": -1, "bidirectional_escapes": -1}
+        # Simulate a sibling process publishing the first unit between
+        # the parent's store scan and this worker picking up the chunk.
+        ResultStore(tmp_path).put(unit_cache_key(units[0], settings), sentinel)
+
+        pairs, _, stats = sweep_mod._run_chunk_worker((tuple(units), settings))
+        results = dict(pairs)
+        assert results[units[0]] == sentinel  # served, not recomputed
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == len(units) - 1
+        assert stats["writes"] == len(units) - 1
+
+
 class TestNoCache:
     def test_no_cache_bypasses_reads_but_still_writes(self, tmp_path, monkeypatch):
         calls = []

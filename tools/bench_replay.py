@@ -13,18 +13,23 @@ warm from disk (fresh process image simulated by dropping the memory
 layer), reporting hit/miss counts.  With ``--e2e`` it measures the
 cold end-to-end ``fig6 --quick`` wall time on both engines (result
 store and trace-bundle caches cleared per run), which exercises the
-interaction-batched replay pipeline the vector engine drives.
+interaction-batched replay pipeline the vector engine drives.  With
+``--figscale`` it measures the cold ``figscale --quick`` wall time on
+the vector engine — the trace-length sweep stresses long-trace
+bundles, so it guards a different axis than fig6.
 
 ``--json PATH`` snapshots every number (``BENCH_replay.json`` at the
 repo root is the checked-in baseline); ``--history PATH`` additionally
 appends a timestamped snapshot line so per-PR perf trends accumulate.
-``--check`` re-measures and exits non-zero if replay throughput or the
-e2e time regressed more than 25% against the checked-in baseline.
+``--check`` re-measures and exits non-zero if replay throughput, the
+fig6 e2e time or the figscale e2e time regressed more than 25% against
+the checked-in baseline.
 
 Usage:
     PYTHONPATH=src python tools/bench_replay.py [--user N] [--os N]
                                                 [--repeats K] [--store]
-                                                [--e2e] [--json PATH]
+                                                [--e2e] [--figscale]
+                                                [--json PATH]
                                                 [--history PATH] [--check]
 
 Exit status is non-zero if the engines disagree on any counter, so the
@@ -154,6 +159,35 @@ def bench_e2e(repeats: int = 2) -> dict:
     return out
 
 
+def bench_figscale(repeats: int = 2) -> dict:
+    """Cold ``figscale --quick`` wall time on the vector engine.
+
+    Same hygiene as :func:`bench_e2e` — interned stores and the
+    trace-bundle cache are dropped per run — but over the quick
+    trace-length grid, whose 8x bundles exercise the batched pipeline
+    at trace lengths the fig6 matrix never reaches.  Vector only: it is
+    the gated engine, and the scalar oracle's cost is already tracked
+    by the fig6 e2e number.
+    """
+    from repro.experiments import store as store_mod
+    from repro.experiments.figscale import QUICK_SCALES, run_figscale
+    from repro.experiments.golden import quick_settings
+    from repro.sim.bundle import clear_bundle_cache
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        store_mod.reset_stores()
+        clear_bundle_cache()
+        settings = quick_settings("vector")
+        start = time.perf_counter()
+        run_figscale(settings, scales=QUICK_SCALES, verbose=False)
+        best = min(best, time.perf_counter() - start)
+    store_mod.reset_stores()
+    clear_bundle_cache()
+    print(f"  e2e figscale --quick cold [vector ] {best:6.2f} s")
+    return {"vector_s": round(best, 4)}
+
+
 def append_history(history_path: str, snapshot: dict) -> None:
     """Append one timestamped snapshot line (JSONL trajectory)."""
     from repro.experiments.store import MODEL_VERSION
@@ -191,6 +225,14 @@ def check_regressions(baseline: dict, current: dict) -> "list[str]":
             f"{(cur_e2e / base_e2e - 1) * 100:.0f}% above baseline "
             f"{base_e2e:.2f}s"
         )
+    base_fs = baseline.get("figscale_e2e", {}).get("vector_s")
+    cur_fs = current.get("figscale_e2e", {}).get("vector_s")
+    if base_fs and cur_fs and cur_fs > base_fs * (1.0 + REGRESSION_THRESHOLD):
+        failures.append(
+            f"cold figscale --quick e2e {cur_fs:.2f}s is "
+            f"{(cur_fs / base_fs - 1) * 100:.0f}% above baseline "
+            f"{base_fs:.2f}s"
+        )
     return failures
 
 
@@ -206,6 +248,8 @@ def main(argv=None) -> int:
                         help="also benchmark the persistent result store")
     parser.add_argument("--e2e", action="store_true",
                         help="also measure cold fig6 --quick end to end")
+    parser.add_argument("--figscale", action="store_true",
+                        help="also measure cold figscale --quick (vector)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write a machine-readable metrics snapshot here")
     parser.add_argument("--history", dest="history_path", default=None,
@@ -278,10 +322,16 @@ def main(argv=None) -> int:
             baseline = json.load(fh)
         if baseline.get("e2e") or args.e2e:
             snapshot["e2e"] = bench_e2e(repeats=2)
+        if baseline.get("figscale_e2e") or args.figscale:
+            snapshot["figscale_e2e"] = bench_figscale(repeats=2)
         if not baseline.get("e2e"):
             print("WARNING: baseline has no 'e2e' section — end-to-end "
                   "regressions are NOT guarded; refresh it with "
                   "run_tiers.py --bench", file=sys.stderr)
+        if not baseline.get("figscale_e2e"):
+            print("WARNING: baseline has no 'figscale_e2e' section — "
+                  "trace-length e2e regressions are NOT guarded; refresh "
+                  "it with run_tiers.py --bench", file=sys.stderr)
         if not baseline.get("accesses_per_s", {}).get("vector"):
             print("WARNING: baseline has no vector throughput — replay "
                   "regressions are NOT guarded", file=sys.stderr)
@@ -292,8 +342,11 @@ def main(argv=None) -> int:
             return 1
         print(f"  no perf regression vs {args.check_path} "
               f"(threshold {REGRESSION_THRESHOLD:.0%})")
-    elif args.e2e:
-        snapshot["e2e"] = bench_e2e()
+    else:
+        if args.e2e:
+            snapshot["e2e"] = bench_e2e()
+        if args.figscale:
+            snapshot["figscale_e2e"] = bench_figscale()
 
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as fh:

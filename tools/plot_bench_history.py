@@ -2,19 +2,23 @@
 """Render the BENCH_history.jsonl perf trajectory to SVG (or PNG).
 
 Reads the append-only snapshot lines that ``run_tiers.py --bench``
-accumulates (see docs/benchmarking.md for the schema) and draws two
+accumulates (see docs/benchmarking.md for the schema) and draws three
 stacked panels over snapshot index:
 
 * replay throughput (M accesses/s), scalar vs vector;
-* cold ``fig6 --quick`` end-to-end seconds, scalar vs vector.
+* cold ``fig6 --quick`` end-to-end seconds, scalar vs vector;
+* cold ``figscale --quick`` end-to-end seconds (vector), when
+  snapshots carry the ``figscale_e2e`` section.
 
-The two measures have different units, so they get separate panels
-with one y-axis each (never a dual-axis chart).  The default output is
-a dependency-free hand-rolled SVG; with matplotlib installed ``--png``
-renders the same panels to PNG instead.
+The measures have different units, so each gets its own panel with one
+y-axis (never a dual-axis chart).  The SVG backend is the shared
+dependency-free helper module ``src/repro/experiments/plotting.py`` —
+the same palette and panel renderer the fig6/fig8/figscale charts use;
+with matplotlib installed ``--png`` renders the same panels to PNG
+instead.
 
 Usage:
-    PYTHONPATH=src python tools/plot_bench_history.py
+    python tools/plot_bench_history.py
         [--history BENCH_history.jsonl] [--out BENCH_history.svg] [--png]
 """
 
@@ -22,19 +26,24 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
-# Categorical palette, fixed assignment (never cycled): slot 1 -> the
-# vector engine, slot 2 -> the scalar engine, in both panels.
-COLORS = {"vector": "#2a78d6", "scalar": "#eb6834"}
-SURFACE = "#fcfcfb"
-TEXT = "#0b0b0b"
-TEXT_MUTED = "#52514e"
-GRID = "#e4e3df"
+from repro.experiments.plotting import (  # noqa: E402 (path bootstrap above)
+    ENGINE_COLORS,
+    GRID,
+    SURFACE,
+    TEXT,
+    TEXT_MUTED,
+    legend,
+    line_panel,
+    svg_document,
+)
+
+PANEL_H, PANEL_GAP, TOP = 170, 64, 48
 
 
 def load_history(path: Path) -> list:
@@ -57,6 +66,7 @@ def extract_series(snapshots: list) -> dict:
     series = {
         "throughput": {"vector": [], "scalar": []},
         "e2e": {"vector": [], "scalar": []},
+        "figscale": {"vector": []},
         "labels": [],
     }
     for snap in snapshots:
@@ -70,134 +80,36 @@ def extract_series(snapshots: list) -> dict:
                 val / 1e6 if val is not None else None
             )
             series["e2e"][engine].append(e2e.get(f"{engine}_s"))
+        series["figscale"]["vector"].append(
+            snap.get("figscale_e2e", {}).get("vector_s")
+        )
     return series
 
 
-# ---------------------------------------------------------------------------
-# Hand-rolled SVG backend (no third-party dependencies)
-# ---------------------------------------------------------------------------
-
-W, H = 760, 560
-PANEL_X0, PANEL_W = 64, 640
-PANEL_H, PANEL_GAP, TOP = 190, 74, 48
-
-
-def _ticks(lo: float, hi: float, n: int = 4) -> list:
-    if hi <= lo:
-        hi = lo + 1.0
-    span = hi - lo
-    step = 10 ** math.floor(math.log10(span / n))
-    for mult in (1, 2, 5, 10):
-        if span / (step * mult) <= n:
-            step *= mult
-            break
-    first = step * math.ceil(lo / step)
-    out = []
-    v = first
-    while v <= hi + 1e-9:
-        out.append(round(v, 10))
-        v += step
-    return out
-
-
-def _panel_svg(parts, title, unit, data, labels, y0):
-    """One panel: two series over snapshot index, single y-axis."""
-    values = [v for eng in ("vector", "scalar") for v in data[eng] if v is not None]
-    if not values:
-        return
-    lo = 0.0
-    hi = max(values) * 1.12
-    n = max(len(labels), 2)
-
-    def sx(i):
-        return PANEL_X0 + PANEL_W * (i / (n - 1))
-
-    def sy(v):
-        return y0 + PANEL_H - PANEL_H * ((v - lo) / (hi - lo))
-
-    parts.append(
-        f'<text x="{PANEL_X0}" y="{y0 - 12}" fill="{TEXT}" font-size="13" '
-        f'font-weight="600">{title}</text>'
-    )
-    for tick in _ticks(lo, hi):
-        y = sy(tick)
-        parts.append(
-            f'<line x1="{PANEL_X0}" y1="{y:.1f}" x2="{PANEL_X0 + PANEL_W}" '
-            f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>'
-        )
-        parts.append(
-            f'<text x="{PANEL_X0 - 8}" y="{y + 4:.1f}" fill="{TEXT_MUTED}" '
-            f'font-size="10" text-anchor="end">{tick:g}</text>'
-        )
-    parts.append(
-        f'<text x="{PANEL_X0 - 48}" y="{y0 + PANEL_H / 2:.1f}" fill="{TEXT_MUTED}" '
-        f'font-size="10" transform="rotate(-90 {PANEL_X0 - 48} '
-        f'{y0 + PANEL_H / 2:.1f})" text-anchor="middle">{unit}</text>'
-    )
-    for engine in ("vector", "scalar"):
-        color = COLORS[engine]
-        pts = [
-            (sx(i), sy(v)) for i, v in enumerate(data[engine]) if v is not None
-        ]
-        if not pts:
-            continue
-        if len(pts) > 1:
-            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
-            parts.append(
-                f'<polyline points="{path}" fill="none" stroke="{color}" '
-                f'stroke-width="2" stroke-linejoin="round"/>'
-            )
-        for i, v in enumerate(data[engine]):
-            if v is None:
-                continue
-            x, y = sx(i), sy(v)
-            parts.append(
-                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
-                f'stroke="{SURFACE}" stroke-width="2">'
-                f"<title>{engine} · {labels[i]} · {v:g} {unit}</title></circle>"
-            )
-        # Direct label at the line's last point (text in ink, not series
-        # color alone — the adjacent marker carries identity).
-        lx, ly = pts[-1]
-        parts.append(
-            f'<text x="{lx + 8:.1f}" y="{ly + 4:.1f}" fill="{TEXT}" '
-            f'font-size="11">{engine}</text>'
-        )
-    for i, label in enumerate(labels):
-        if n > 8 and i % max(1, n // 8):
-            continue
-        parts.append(
-            f'<text x="{sx(i):.1f}" y="{y0 + PANEL_H + 16}" fill="{TEXT_MUTED}" '
-            f'font-size="9" text-anchor="middle">{label}</text>'
-        )
-
-
 def render_svg(series: dict, out_path: Path) -> None:
+    """Write the stacked panels through the shared SVG helpers."""
     labels = series["labels"]
+    panels = [
+        ("Replay throughput (Fig. 6 mix)", "M accesses/s", series["throughput"]),
+        ("Cold fig6 --quick end to end", "seconds", series["e2e"]),
+        ("Cold figscale --quick end to end", "seconds", series["figscale"]),
+    ]
+    panels = [p for p in panels if any(
+        v is not None for vals in p[2].values() for v in vals
+    )]
+    height = TOP + len(panels) * (PANEL_H + PANEL_GAP)
     parts = [
-        f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" '
-        f'viewBox="0 0 {W} {H}" font-family="system-ui, sans-serif">',
-        f'<rect width="{W}" height="{H}" fill="{SURFACE}"/>',
-        f'<text x="{PANEL_X0}" y="24" fill="{TEXT}" font-size="15" '
+        f'<text x="64" y="24" fill="{TEXT}" font-size="15" '
         f'font-weight="700">Replay benchmark history</text>',
     ]
-    # Legend (two series per panel, fixed order).
-    lx = PANEL_X0 + PANEL_W - 150
-    for j, engine in enumerate(("vector", "scalar")):
-        y = 18 + 14 * j
-        parts.append(
-            f'<circle cx="{lx}" cy="{y - 4}" r="4" fill="{COLORS[engine]}"/>'
+    legend(parts, ["vector", "scalar"], ENGINE_COLORS, 64 + 640 - 150, 18)
+    for i, (title, unit, data) in enumerate(panels):
+        line_panel(
+            parts, title, unit, data, labels,
+            y0=TOP + i * (PANEL_H + PANEL_GAP), height=PANEL_H,
+            colors=ENGINE_COLORS,
         )
-        parts.append(
-            f'<text x="{lx + 10}" y="{y}" fill="{TEXT_MUTED}" '
-            f'font-size="11">{engine} engine</text>'
-        )
-    _panel_svg(parts, "Replay throughput (Fig. 6 mix)", "M accesses/s",
-               series["throughput"], labels, TOP)
-    _panel_svg(parts, "Cold fig6 --quick end to end", "seconds",
-               series["e2e"], labels, TOP + PANEL_H + PANEL_GAP)
-    parts.append("</svg>")
-    out_path.write_text("\n".join(parts) + "\n", encoding="utf-8")
+    out_path.write_text(svg_document(parts, 760, height), encoding="utf-8")
 
 
 # ---------------------------------------------------------------------------
@@ -206,6 +118,7 @@ def render_svg(series: dict, out_path: Path) -> None:
 
 
 def render_png(series: dict, out_path: Path) -> None:
+    """Render the same panels as PNG (requires matplotlib)."""
     import matplotlib
 
     matplotlib.use("Agg")
@@ -213,16 +126,23 @@ def render_png(series: dict, out_path: Path) -> None:
 
     labels = series["labels"]
     x = range(len(labels))
-    fig, axes = plt.subplots(2, 1, figsize=(8, 6), sharex=True)
-    fig.patch.set_facecolor(SURFACE)
     panels = [
         ("Replay throughput (Fig. 6 mix)", "M accesses/s", series["throughput"]),
         ("Cold fig6 --quick end to end", "seconds", series["e2e"]),
+        ("Cold figscale --quick end to end", "seconds", series["figscale"]),
     ]
+    panels = [p for p in panels if any(
+        v is not None for vals in p[2].values() for v in vals
+    )]
+    fig, axes = plt.subplots(len(panels), 1, figsize=(8, 3 * len(panels)),
+                             sharex=True)
+    if len(panels) == 1:
+        axes = [axes]
+    fig.patch.set_facecolor(SURFACE)
     for ax, (title, unit, data) in zip(axes, panels):
         ax.set_facecolor(SURFACE)
-        for engine in ("vector", "scalar"):
-            ax.plot(x, data[engine], color=COLORS[engine], linewidth=2,
+        for engine, values in data.items():
+            ax.plot(x, values, color=ENGINE_COLORS[engine], linewidth=2,
                     marker="o", markersize=5, label=f"{engine} engine")
         ax.set_title(title, fontsize=11, color=TEXT, loc="left")
         ax.set_ylabel(unit, fontsize=9, color=TEXT_MUTED)
@@ -231,13 +151,14 @@ def render_png(series: dict, out_path: Path) -> None:
         for spine in ("top", "right"):
             ax.spines[spine].set_visible(False)
     axes[0].legend(frameon=False, fontsize=9)
-    axes[1].set_xticks(list(x))
-    axes[1].set_xticklabels(labels, fontsize=7, rotation=30, ha="right")
+    axes[-1].set_xticks(list(x))
+    axes[-1].set_xticklabels(labels, fontsize=7, rotation=30, ha="right")
     fig.tight_layout()
     fig.savefig(out_path, dpi=150)
 
 
 def main(argv=None) -> int:
+    """CLI entry point: load the history, render SVG or PNG."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--history", type=Path,
                         default=REPO / "BENCH_history.jsonl")

@@ -7,19 +7,28 @@ their own so a regression in either regression suite is reported by
 name even though both already ran inside tier-1.
 
 A ``docs`` phase keeps the prose honest: every repo path named in
-``docs/architecture.md`` must exist and every internal link in
-``docs/*.md`` must resolve (see :func:`check_docs`).
+``docs/architecture.md``, ``docs/experiments.md`` and
+``docs/scaling.md`` must exist and every internal link in ``docs/*.md``
+must resolve (see :func:`check_docs`).
+
+A ``scale`` smoke phase runs
+``python -m repro figscale --quick --jobs 2 --chunk 2 --check-golden``:
+the chunked process pool must complete the trace-length sweep and
+reproduce the serially-collected golden numbers bit-exactly
+(``--skip-scale`` skips it).
 
 Perf is guarded too: unless ``--skip-bench-check`` is given, a final
 phase runs ``bench_replay.py --check``, which fails if replay
-throughput or the cold ``fig6 --quick`` end-to-end time regressed >25%
-against the checked-in ``BENCH_replay.json``.  With ``--bench`` the
-benchmark instead records a fresh ``BENCH_replay.json`` snapshot
-(including the e2e numbers) and appends a timestamped line to
+throughput, the cold ``fig6 --quick`` end-to-end time or the cold
+``figscale --quick`` end-to-end time regressed >25% against the
+checked-in ``BENCH_replay.json``.  With ``--bench`` the benchmark
+instead records a fresh ``BENCH_replay.json`` snapshot (including the
+e2e and figscale numbers) and appends a timestamped line to
 ``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
 
 Usage:
-    python tools/run_tiers.py [--bench] [--skip-tier1] [--skip-bench-check]
+    python tools/run_tiers.py [--bench] [--skip-tier1] [--skip-scale]
+                              [--skip-bench-check]
 """
 
 from __future__ import annotations
@@ -44,6 +53,10 @@ TIERS = [
 _PATH_SPAN = re.compile(r"`((?:src|tools|tests|benchmarks|docs)/[^`*]+)`")
 #: Markdown links ``[text](target)``.
 _LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+
+#: Docs whose backtick-quoted repo paths are existence-checked (the
+#: architecture map plus the user-facing experiment/scaling guides).
+PATH_CHECKED_DOCS = ("architecture.md", "experiments.md", "scaling.md")
 
 
 def _heading_anchors(text: str) -> set:
@@ -75,10 +88,10 @@ def check_docs(repo: Path = REPO) -> "list[str]":
 
     Returns human-readable failure strings (empty = pass).  Two rules:
 
-    * every backtick-quoted ``src/...``-style path in
-      ``docs/architecture.md`` must exist in the repository, so the
-      paper-to-code map can never name a module that was moved or
-      deleted;
+    * every backtick-quoted ``src/...``-style path in a
+      :data:`PATH_CHECKED_DOCS` document (the architecture map and the
+      experiments/scaling guides) must exist in the repository, so the
+      prose can never name a module that was moved or deleted;
     * every relative markdown link in any ``docs/*.md`` must point at
       an existing file (and, for ``#fragment`` links, at an existing
       heading).
@@ -92,7 +105,7 @@ def check_docs(repo: Path = REPO) -> "list[str]":
         failures.append("docs/architecture.md is missing")
     for doc in docs:
         text = doc.read_text(encoding="utf-8")
-        if doc == arch:
+        if doc.name in PATH_CHECKED_DOCS:
             for span in _PATH_SPAN.findall(text):
                 path = span.split("#")[0].strip()
                 if not (repo / path).exists():
@@ -153,6 +166,8 @@ def main(argv=None) -> int:
                         help="record fresh BENCH_replay.json + history snapshots")
     parser.add_argument("--skip-tier1", action="store_true",
                         help="run only the marker suites (fast re-check)")
+    parser.add_argument("--skip-scale", action="store_true",
+                        help="skip the chunked-pool figscale smoke phase")
     parser.add_argument("--skip-bench-check", action="store_true",
                         help="skip the perf-regression gate")
     args = parser.parse_args(argv)
@@ -165,12 +180,24 @@ def main(argv=None) -> int:
         phases.append(run_phase(name, tier_argv))
     print("\n=== docs ===")
     phases.append(run_docs_phase())
+    if not args.skip_scale:
+        # Chunked-pool smoke: the trace-length sweep must complete over
+        # a 2-worker pool with 2-unit chunks and match the golden file.
+        print("\n=== scale ===")
+        phases.append(
+            run_phase(
+                "scale",
+                ["-m", "repro", "figscale", "--quick", "--jobs", "2",
+                 "--chunk", "2", "--check-golden"],
+            )
+        )
     if args.bench:
         print("\n=== bench ===")
         phases.append(
             run_phase(
                 "bench",
                 [str(REPO / "tools" / "bench_replay.py"), "--store", "--e2e",
+                 "--figscale",
                  "--json", str(REPO / "BENCH_replay.json"),
                  "--history", str(REPO / "BENCH_history.jsonl")],
             )
