@@ -221,9 +221,10 @@ def main(argv=None) -> int:
     failures = 0
     chosen = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in chosen:
-        start = time.time()
+        # Progress display only — never feeds a result or a cache key.
+        start = time.time()  # repro: allow[determinism.banned-call]
         data = EXPERIMENTS[name](settings, args.quick)
-        print(f"[{name}: {time.time() - start:.1f}s]")
+        print(f"[{name}: {time.time() - start:.1f}s]")  # repro: allow[determinism.banned-call]
         if args.plot_dir and name in PLOTTERS:
             plot_dir = Path(args.plot_dir)
             plot_dir.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,418 @@
+"""Determinism lint: ban nondeterminism sources from the model tree.
+
+Every figure in this repository is reproduced bit-exactly from seeds,
+so the model/replay tree must never consult wall clocks, global RNG
+state or iteration orders that vary between interpreter runs.  Three
+rules:
+
+``determinism.banned-call``
+    Wall-clock reads (``time.time``/``monotonic``/``perf_counter``
+    and their ``_ns`` variants), ``os.urandom``, ``uuid.uuid1``/
+    ``uuid.uuid4``, the stdlib ``random``/``secrets`` modules (their
+    *import* is flagged — seeded ``numpy`` generators are the only
+    sanctioned randomness) and NumPy's legacy global-state RNG
+    (``np.random.<anything>`` except ``default_rng`` / ``Generator`` /
+    ``SeedSequence``).  Scope: the whole ``src/repro`` tree.
+
+``determinism.unseeded-rng``
+    ``np.random.default_rng()`` with no seed (or an explicit ``None``):
+    every generator must derive from an explicit seed.
+
+``determinism.set-iteration``
+    Iteration over values that are statically known to be ``set`` /
+    ``frozenset`` — literals, ``set(...)`` calls, locals bound to them,
+    and attributes the repo declares as set-typed (collected from class
+    annotations and ``self.x = set(...)`` assignments, e.g.
+    ``ProcessContext._replicated``) — inside the replay-path packages
+    (``arch``/``model``/``sim``/``machines``/``secure``/``workloads``).
+    Set iteration order is salted per interpreter run, so any
+    order-dependent consumption breaks bit-exactness.  Order-insensitive
+    consumptions are exempt: ``sorted(s)`` (the iteration this rule
+    wants you to write), set comprehensions, and generator expressions
+    fed straight into commutative reducers (``sum``/``min``/``max``/
+    ``any``/``all``/``len``/``set``/``frozenset``).  Iterating
+    ``vars()``/``globals()``/``locals()``/``__dict__`` views is flagged
+    by the same rule (their order tracks interpreter internals, not the
+    model).
+
+Hygiene rules ride along in this module because their failure mode is
+also silent state leakage between runs:
+
+``hygiene.mutable-default-arg``
+    ``def f(x=[])`` / ``={}`` / ``=set()`` — call-to-call shared state.
+
+``hygiene.bare-except``
+    ``except:`` swallows everything including ``KeyboardInterrupt``;
+    name the exceptions (or use ``except Exception`` deliberately).
+
+Suppress intentional uses with ``# repro: allow[rule]`` (see
+:mod:`repro.analysis.core`); the repo's only sanctioned suppressions
+are catalogued in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.core import (
+    Finding,
+    RepoContext,
+    SourceFile,
+    checker,
+    dotted_name,
+)
+
+#: Wall-clock attributes of the ``time`` module that are banned in the
+#: model tree (timing UI code must carry an explicit pragma).
+_TIME_BANNED = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
+
+#: ``np.random`` attributes that *are* allowed (explicitly seeded API).
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                 "Philox", "SFC64", "BitGenerator"}
+
+#: Modules whose import alone is a finding.
+_BANNED_MODULES = {"random", "secrets"}
+
+#: Calls whose dotted name is banned outright.
+_BANNED_CALLS = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+
+#: Reducers whose result does not depend on iteration order, making a
+#: generator expression over a set safe.
+_ORDER_FREE_REDUCERS = {"sum", "min", "max", "any", "all", "len", "set",
+                        "frozenset"}
+
+#: Mapping-view builtins whose iteration order tracks interpreter
+#: internals rather than model state.
+_ENV_VIEWS = {"vars", "globals", "locals"}
+
+#: Replay-path packages subject to the set-iteration rule.
+_REPLAY_PREFIXES = (
+    "src/repro/arch/", "src/repro/model/", "src/repro/sim/",
+    "src/repro/machines/", "src/repro/secure/", "src/repro/workloads/",
+)
+
+
+def _annotation_is_set(node: Optional[ast.AST]) -> bool:
+    """True if a type annotation mentions a set type."""
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in {
+            "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"
+        }:
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+            if "set" in text.lower():
+                return True
+    return False
+
+
+def _is_set_expr(node: ast.AST, local_sets: Set[str],
+                 set_attrs: Set[str]) -> bool:
+    """Statically: does ``node`` evaluate to a set/frozenset?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = dotted_name(node.func)
+        if fn in {"set", "frozenset"}:
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in local_sets
+    if isinstance(node, ast.Attribute):
+        return node.attr in set_attrs
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, local_sets, set_attrs) or _is_set_expr(
+            node.orelse, local_sets, set_attrs
+        )
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, local_sets, set_attrs) or _is_set_expr(
+            node.right, local_sets, set_attrs
+        )
+    return False
+
+
+def collect_set_attributes(ctx: RepoContext) -> Set[str]:
+    """Attribute names the repo declares as set-typed.
+
+    Union over every class in the replay packages of (a) class-body
+    annotations naming a set type and (b) ``self.<attr> = set(...)`` /
+    set-literal assignments in any method.  The table is keyed by bare
+    attribute name — a deliberate over-approximation for a single
+    repository, kept honest by the pragma escape hatch.
+    """
+    attrs: Set[str] = set()
+    for src in ctx.in_prefix(*_REPLAY_PREFIXES):
+        if src.tree is None:
+            continue
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if _annotation_is_set(stmt.annotation):
+                        attrs.add(stmt.target.id)
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign) and _is_set_expr(
+                    sub.value, set(), set()
+                ):
+                    for target in sub.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attrs.add(target.attr)
+    return attrs
+
+
+def _local_set_names(fn: ast.AST, set_attrs: Set[str]) -> Set[str]:
+    """Names bound to statically-known sets anywhere in ``fn``."""
+    local: Set[str] = set()
+    # Two passes so ``a = ...set...; b = a`` resolves.
+    for _ in range(2):
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and _is_set_expr(
+                node.value, local, set_attrs
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if node.value is not None and _is_set_expr(
+                    node.value, local, set_attrs
+                ):
+                    local.add(node.target.id)
+    return local
+
+
+def _order_free_generator_parents(tree: ast.AST) -> Set[int]:
+    """ids of GeneratorExp nodes consumed by order-insensitive reducers."""
+    safe: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            fn = dotted_name(node.func)
+            if fn in _ORDER_FREE_REDUCERS and len(node.args) >= 1:
+                if isinstance(node.args[0], ast.GeneratorExp):
+                    safe.add(id(node.args[0]))
+        # s.difference_update(x for x in ...) and friends are also
+        # order-free consumers of their generator argument.
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in {
+                "update", "difference_update", "intersection_update",
+                "symmetric_difference_update", "union", "difference",
+                "intersection", "issubset", "issuperset", "isdisjoint",
+            } and node.args and isinstance(node.args[0], ast.GeneratorExp):
+                safe.add(id(node.args[0]))
+    return safe
+
+
+def _is_env_view(node: ast.AST) -> bool:
+    """Iteration source is ``vars()``/``globals()``/``locals()``/``__dict__``."""
+    if isinstance(node, ast.Call):
+        fn = dotted_name(node.func)
+        if fn in _ENV_VIEWS:
+            return True
+        # vars(x).items() / __dict__.keys() style views.
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "keys", "values", "items"
+        }:
+            return _is_env_view(node.func.value)
+    if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+        return True
+    return False
+
+
+def _check_banned_calls(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    tree = src.tree
+    if tree is None:
+        return findings
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_MODULES:
+                    findings.append(Finding(
+                        "determinism.banned-call", src.rel, node.lineno,
+                        f"import of nondeterministic module {root!r}; use a "
+                        "seeded np.random.default_rng instead",
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _BANNED_MODULES:
+                findings.append(Finding(
+                    "determinism.banned-call", src.rel, node.lineno,
+                    f"import from nondeterministic module {node.module!r}; "
+                    "use a seeded np.random.default_rng instead",
+                ))
+        elif isinstance(node, ast.Call):
+            fn = dotted_name(node.func)
+            if fn is None:
+                continue
+            parts = fn.split(".")
+            if fn in _BANNED_CALLS:
+                findings.append(Finding(
+                    "determinism.banned-call", src.rel, node.lineno,
+                    f"call to {fn} is nondeterministic",
+                ))
+            elif len(parts) == 2 and parts[0] == "time" and (
+                parts[1] in _TIME_BANNED
+            ):
+                findings.append(Finding(
+                    "determinism.banned-call", src.rel, node.lineno,
+                    f"wall-clock read {fn}() in the model tree",
+                ))
+            elif (
+                len(parts) >= 3
+                and parts[-3] in {"np", "numpy"}
+                and parts[-2] == "random"
+                and parts[-1] not in _NP_RANDOM_OK
+            ):
+                findings.append(Finding(
+                    "determinism.banned-call", src.rel, node.lineno,
+                    f"legacy global-state RNG {fn}(); use a seeded "
+                    "np.random.default_rng",
+                ))
+            if parts[-1] == "default_rng":
+                args = node.args
+                unseeded = (not args and not node.keywords) or (
+                    len(args) == 1
+                    and isinstance(args[0], ast.Constant)
+                    and args[0].value is None
+                )
+                if unseeded:
+                    findings.append(Finding(
+                        "determinism.unseeded-rng", src.rel, node.lineno,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass an explicit seed",
+                    ))
+    return findings
+
+
+def _check_set_iteration(src: SourceFile, set_attrs: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    tree = src.tree
+    if tree is None:
+        return findings
+    scopes = [tree] + [
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    order_free = _order_free_generator_parents(tree)
+    flagged: Set[int] = set()
+
+    def flag(node: ast.AST, what: str) -> None:
+        if id(node) in flagged:
+            return
+        flagged.add(id(node))
+        findings.append(Finding(
+            "determinism.set-iteration", src.rel, node.lineno,
+            f"{what}: set iteration order is salted per interpreter run; "
+            "iterate sorted(...) or consume order-insensitively",
+        ))
+
+    for scope in scopes:
+        local_sets = _local_set_names(scope, set_attrs) if not isinstance(
+            scope, ast.Module
+        ) else set()
+        body = scope.body if isinstance(scope, ast.Module) else [scope]
+        for root in body:
+            for node in ast.walk(root):
+                # Nested defs are handled as their own scope.
+                if node is not root and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not isinstance(scope, ast.Module):
+                    continue
+                if isinstance(node, ast.For):
+                    if _is_env_view(node.iter):
+                        flag(node.iter, "iteration over an interpreter "
+                             "namespace view")
+                    elif _is_set_expr(node.iter, local_sets, set_attrs):
+                        flag(node.iter, "for-loop over a set")
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                       ast.DictComp, ast.SetComp)):
+                    if isinstance(node, ast.SetComp):
+                        continue  # result is a set: order-insensitive
+                    if isinstance(node, ast.GeneratorExp) and (
+                        id(node) in order_free
+                    ):
+                        continue
+                    for gen in node.generators:
+                        if _is_env_view(gen.iter):
+                            flag(gen.iter, "comprehension over an "
+                                 "interpreter namespace view")
+                        elif _is_set_expr(gen.iter, local_sets, set_attrs):
+                            flag(gen.iter, "comprehension over a set")
+    return findings
+
+
+def _check_hygiene(src: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    tree = src.tree
+    if tree is None:
+        return findings
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and dotted_name(default.func) in {
+                        "list", "dict", "set", "OrderedDict", "defaultdict",
+                        "collections.OrderedDict", "collections.defaultdict",
+                    }
+                ):
+                    findings.append(Finding(
+                        "hygiene.mutable-default-arg", src.rel,
+                        default.lineno,
+                        f"mutable default argument in {node.name}(); "
+                        "defaults are shared across calls — use None",
+                    ))
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                "hygiene.bare-except", src.rel, node.lineno,
+                "bare except: swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception (or narrower) explicitly",
+            ))
+    return findings
+
+
+@checker
+def check_determinism(ctx: RepoContext) -> List[Finding]:
+    """Run the determinism + hygiene rules over the scanned tree."""
+    findings: List[Finding] = []
+    set_attrs = collect_set_attributes(ctx)
+    for src in ctx.in_prefix("src/repro/"):
+        findings.extend(_check_banned_calls(src))
+        findings.extend(_check_hygiene(src))
+        if src.rel.startswith(_REPLAY_PREFIXES):
+            findings.extend(_check_set_iteration(src, set_attrs))
+    for src in ctx.in_prefix("tools/"):
+        findings.extend(_check_hygiene(src))
+    return findings
+
+
+def analyze_snippet(
+    text: str,
+    rel: str = "src/repro/arch/_snippet.py",
+    set_attrs: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run the determinism/hygiene rules on one source snippet (tests)."""
+    src = SourceFile.from_text(rel, text)
+    findings = _check_banned_calls(src)
+    findings.extend(_check_hygiene(src))
+    if rel.startswith(_REPLAY_PREFIXES):
+        findings.extend(_check_set_iteration(src, set_attrs or set()))
+    return [f for f in findings if not src.allows(f.rule, f.line)]

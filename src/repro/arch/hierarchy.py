@@ -354,7 +354,10 @@ class MemoryHierarchy:
         shift = self._lp_shift
         for ctx in ctxs:
             replicated = ctx._replicated
-            stale = [line for line in replicated if (line >> shift) in frameset]
+            # Set comprehension: the stale subset is consumed order-
+            # insensitively, so set iteration order cannot leak into
+            # replay results.
+            stale = {line for line in replicated if (line >> shift) in frameset}
             replicated.difference_update(stale)
 
     def frames_homed_in(self, slices: Sequence[int]) -> List[int]:

@@ -26,8 +26,22 @@ suite holds regardless of which backend serviced a batch.
 Everything degrades gracefully: if no compiler is present or the build
 fails for any reason, :func:`native_available` returns False and the
 replay engine falls back to the pure-Python
-:class:`repro.arch.vector_cache.VectorCache` backend.  No third-party
+:class:`repro.arch.vector_cache.VectorCache` backend — but never
+silently: the compiler's stderr is reported once on the process's
+stderr and kept retrievable via :func:`build_error`.  No third-party
 packages are involved — only ``ctypes`` and the system toolchain.
+
+Builds always use ``-Wall -Wextra`` (the kernels are warning-clean and
+must stay that way).  Setting ``REPRO_NATIVE_SANITIZE=1`` selects a
+hardened build — ``-fsanitize=address,undefined -fno-sanitize-recover
+-Werror`` — used by the ``--sanitize`` tier phase to run the whole
+equivalence suite over instrumented kernels.  Sanitized and plain
+shared objects coexist in the build cache because the compile flags are
+folded into the library digest.  Loading an ASan-instrumented library
+into a non-ASan interpreter requires the ASan runtime to be preloaded
+(``LD_PRELOAD=$(cc -print-file-name=libasan.so)``); without it the
+loader would abort the host process, so :func:`load_native` refuses the
+attempt and falls back instead.
 """
 
 from __future__ import annotations
@@ -36,6 +50,7 @@ import ctypes
 import hashlib
 import os
 import subprocess
+import sys
 import tempfile
 from typing import List, Optional, Tuple
 
@@ -292,6 +307,34 @@ i64 tlb_flags(i64 n, const i64 *pages,
 
 _lib: Optional[ctypes.CDLL] = None
 _load_attempted = False
+_build_error: Optional[str] = None
+
+
+def sanitize_requested() -> bool:
+    """True when ``REPRO_NATIVE_SANITIZE`` selects the hardened build."""
+    return os.environ.get("REPRO_NATIVE_SANITIZE", "") not in ("", "0")
+
+
+def compile_flags() -> List[str]:
+    """Compiler flags for the current build mode.
+
+    ``-Wall -Wextra`` always; the sanitize mode adds ASan+UBSan with
+    ``-fno-sanitize-recover=all`` (any report is fatal, so the
+    equivalence suite cannot pass over a corrupting kernel) and
+    promotes warnings to errors.
+    """
+    flags = ["-O2", "-shared", "-fPIC", "-Wall", "-Wextra"]
+    if sanitize_requested():
+        flags += [
+            "-g", "-fsanitize=address,undefined",
+            "-fno-sanitize-recover=all", "-Werror",
+        ]
+    return flags
+
+
+def _asan_preloaded() -> bool:
+    """True when the ASan runtime is already in the process image."""
+    return "asan" in os.environ.get("LD_PRELOAD", "")
 
 
 def _build_dir() -> str:
@@ -301,7 +344,12 @@ def _build_dir() -> str:
 
 
 def _load() -> Optional[ctypes.CDLL]:
-    digest = hashlib.sha1(_C_SOURCE.encode()).hexdigest()[:16]
+    flags = compile_flags()
+    # The flags are part of the digest so plain and sanitized builds
+    # coexist in the cache instead of fighting over one filename.
+    digest = hashlib.sha1(
+        (" ".join(flags) + "\n" + _C_SOURCE).encode()
+    ).hexdigest()[:16]
     build_dir = _build_dir()
     lib_path = os.path.join(build_dir, f"replaykernels_{digest}.so")
     if not os.path.exists(lib_path):
@@ -312,12 +360,26 @@ def _load() -> Optional[ctypes.CDLL]:
         fd, tmp = tempfile.mkstemp(dir=build_dir, suffix=".so")
         os.close(fd)
         try:
-            cmd = ["cc", "-O2", "-shared", "-fPIC", "-o", tmp, src_path]
-            subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+            cmd = ["cc", *flags, "-o", tmp, src_path]
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"kernel build failed (rc {proc.returncode}): "
+                    f"{' '.join(cmd)}\n{proc.stderr.strip()}"
+                )
             os.replace(tmp, lib_path)  # atomic: parallel workers may race
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
+    if sanitize_requested() and not _asan_preloaded():
+        # dlopening an ASan library without the runtime preloaded
+        # aborts the interpreter outright — refuse and fall back.
+        raise RuntimeError(
+            "REPRO_NATIVE_SANITIZE=1 needs the ASan runtime preloaded: "
+            "rerun under LD_PRELOAD=$(cc -print-file-name=libasan.so)"
+        )
     lib = ctypes.CDLL(lib_path)
     # All pointers are passed as raw addresses (ndarray.ctypes.data);
     # c_void_p argtypes keep the per-call marshalling cost negligible.
@@ -345,9 +407,19 @@ def native_available() -> bool:
     return load_native() is not None
 
 
+def build_error() -> Optional[str]:
+    """Why the native build/load fell back (None when it succeeded)."""
+    return _build_error
+
+
 def load_native() -> Optional[ctypes.CDLL]:
-    """Build/load the kernel library; returns None when impossible."""
-    global _lib, _load_attempted
+    """Build/load the kernel library; returns None when impossible.
+
+    A failed build or load is reported once on stderr (full compiler
+    diagnostics included) and remembered in :func:`build_error`; the
+    replay engine then falls back to the pure-Python backend.
+    """
+    global _lib, _load_attempted, _build_error
     if _load_attempted:
         return _lib
     _load_attempted = True
@@ -355,7 +427,13 @@ def load_native() -> Optional[ctypes.CDLL]:
         return None
     try:
         _lib = _load()
-    except Exception:
+    except Exception as exc:
+        _build_error = str(exc)
+        print(
+            "repro.arch.native: falling back to the pure-Python replay "
+            f"backend: {_build_error}",
+            file=sys.stderr,
+        )
         _lib = None
     return _lib
 
@@ -736,24 +814,24 @@ class NativeTlb:
         self._one = np.zeros(1, dtype=np.int64)
         self.stats = TlbStats()
 
-    def access_batch(self, pages: np.ndarray) -> int:
+    def access_batch(self, vpages: np.ndarray) -> int:
         """Look up a batch of pages; returns the number of misses."""
-        pages = np.ascontiguousarray(pages, dtype=np.int64)
-        n = len(pages)
+        vpages = np.ascontiguousarray(vpages, dtype=np.int64)
+        n = len(vpages)
         misses = self._lib.tlb_misses(
-            n, pages.ctypes.data, *self._ptrs, self.config.entries
+            n, vpages.ctypes.data, *self._ptrs, self.config.entries
         )
         self.stats.hits += n - misses
         self.stats.misses += misses
         return misses
 
-    def access_batch_flags(self, pages: np.ndarray) -> np.ndarray:
+    def access_batch_flags(self, vpages: np.ndarray) -> np.ndarray:
         """Look up a batch of pages; returns a per-event 1/0 miss flag."""
-        pages = np.ascontiguousarray(pages, dtype=np.int64)
-        n = len(pages)
+        vpages = np.ascontiguousarray(vpages, dtype=np.int64)
+        n = len(vpages)
         flags = np.empty(n, dtype=np.int8)
         misses = self._lib.tlb_flags(
-            n, pages.ctypes.data, *self._ptrs, self.config.entries,
+            n, vpages.ctypes.data, *self._ptrs, self.config.entries,
             flags.ctypes.data,
         )
         self.stats.hits += n - misses

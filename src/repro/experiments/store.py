@@ -347,7 +347,10 @@ def get_store(
     ident = str(Path(cache_dir).expanduser().resolve()) if cache_dir else None
     store = _STORES.get(ident)
     if store is None:
-        store = _STORES[ident] = ResultStore(cache_dir, max_bytes=max_bytes)
+        # Per-process interning: a worker that lands here builds its own
+        # store over the same directory; the disk layer (atomic
+        # write-then-rename, content-addressed keys) is the shared truth.
+        store = _STORES[ident] = ResultStore(cache_dir, max_bytes=max_bytes)  # repro: allow[mp.global-write]
     elif max_bytes is not None:
         store.max_bytes = max_bytes
     return store
@@ -361,4 +364,5 @@ def clear_memory_caches() -> None:
 
 def reset_stores() -> None:
     """Forget every interned store (tests that need cold stats)."""
-    _STORES.clear()
+    # Explicit test-only invalidation of the per-process intern table.
+    _STORES.clear()  # repro: allow[mp.global-write]

@@ -75,7 +75,9 @@ def unit_runner(kind: str):
     """Register the executor for one unit kind."""
 
     def register(fn):
-        _RUNNERS[kind] = fn
+        # Import-time registration: every process builds the identical
+        # registry when it imports this module.
+        _RUNNERS[kind] = fn  # repro: allow[mp.global-write]
         return fn
 
     return register

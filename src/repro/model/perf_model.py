@@ -43,7 +43,8 @@ _PROBE_L2_POOLS: "OrderedDict" = OrderedDict()
 
 def clear_probe_pools() -> None:
     """Drop every pooled calibration scratch cache (tests, sweeps)."""
-    _PROBE_L2_POOLS.clear()
+    # Explicit invalidation of a per-process scratch pool (see below).
+    _PROBE_L2_POOLS.clear()  # repro: allow[mp.global-write]
 
 
 def calibrate_l2_curve(
@@ -226,8 +227,11 @@ def calibrate_l2_curve_batched(
         cfg.l2_slice.associativity,
         cfg.l2_slice.line_bytes,
     )
+    # Per-process scratch pool: caches are reset before every probe, so
+    # any process (parent or pool worker) computes identical curves
+    # whether its pool is warm or cold.
     if pool_key in _PROBE_L2_POOLS:
-        _PROBE_L2_POOLS.move_to_end(pool_key)
+        _PROBE_L2_POOLS.move_to_end(pool_key)  # repro: allow[mp.global-write]
     l2_caches = _PROBE_L2_POOLS.setdefault(pool_key, {})
     while len(_PROBE_L2_POOLS) > _PROBE_POOL_GEOMETRIES:
         _PROBE_L2_POOLS.popitem(last=False)

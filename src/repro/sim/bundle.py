@@ -152,7 +152,8 @@ def clear_bundle_cache() -> None:
     become *unused* but never stale.  Capacity eviction is automatic
     (LRU past :data:`_CACHE_CAP` entries / :data:`_CACHE_MAX_BYTES`).
     """
-    _CACHE.clear()
+    # Explicit invalidation of the per-process bundle LRU.
+    _CACHE.clear()  # repro: allow[mp.global-write]
 
 
 def bundle_cache_size() -> int:
@@ -179,7 +180,10 @@ def interaction_bundle(app, role: str, proc, seed: int, start: int, count: int) 
     key = (app.name, role, int(seed), int(start), int(count), scale)
     bundle = _CACHE.get(key)
     if bundle is not None:
-        _CACHE.move_to_end(key)
+        # Per-process content-addressed LRU: the key pins every input
+        # of the stream, so a cold worker recomputes bit-identical
+        # bundles — warmth changes speed, never results.
+        _CACHE.move_to_end(key)  # repro: allow[mp.global-write]
         return bundle
     rng = bundle_rng(app.name, role, seed, start, count, scale)
     traces = proc.batch_traces(rng, start, count, scale=scale)

@@ -6,10 +6,16 @@ hold.  The ``golden`` and ``equivalence`` markers are then run on
 their own so a regression in either regression suite is reported by
 name even though both already ran inside tier-1.
 
+A ``static`` phase runs first: ``tools/check_static.py`` — the
+repo-native static analysis suite (determinism lint, kernel ABI
+parity, cache-key completeness, multiprocessing safety) — must report
+zero findings.
+
 A ``docs`` phase keeps the prose honest: every repo path named in
-``docs/architecture.md``, ``docs/experiments.md`` and
-``docs/scaling.md`` must exist and every internal link in ``docs/*.md``
-must resolve (see :func:`check_docs`).
+``docs/architecture.md``, ``docs/experiments.md``,
+``docs/scaling.md`` and ``docs/static-analysis.md`` must exist and
+every internal link in ``docs/*.md`` must resolve (see
+:func:`check_docs`).
 
 A ``scale`` smoke phase runs
 ``python -m repro figscale --quick --jobs 2 --chunk 2 --check-golden``:
@@ -26,9 +32,16 @@ instead records a fresh ``BENCH_replay.json`` snapshot (including the
 e2e and figscale numbers) and appends a timestamped line to
 ``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
 
+With ``--sanitize``, an opt-in phase re-runs the equivalence suite
+over sanitizer-instrumented native kernels
+(``REPRO_NATIVE_SANITIZE=1`` + a preloaded ASan runtime): the batch
+kernels must stay bit-identical to the scalar oracle while ASan/UBSan
+watch every memory access.  The phase skips gracefully when the
+toolchain lacks working sanitizers.
+
 Usage:
-    python tools/run_tiers.py [--bench] [--skip-tier1] [--skip-scale]
-                              [--skip-bench-check]
+    python tools/run_tiers.py [--bench] [--sanitize] [--skip-tier1]
+                              [--skip-scale] [--skip-bench-check]
 """
 
 from __future__ import annotations
@@ -36,6 +49,7 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import shutil
 import subprocess
 import sys
 import time
@@ -56,7 +70,9 @@ _LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
 
 #: Docs whose backtick-quoted repo paths are existence-checked (the
 #: architecture map plus the user-facing experiment/scaling guides).
-PATH_CHECKED_DOCS = ("architecture.md", "experiments.md", "scaling.md")
+PATH_CHECKED_DOCS = (
+    "architecture.md", "experiments.md", "scaling.md", "static-analysis.md"
+)
 
 
 def _heading_anchors(text: str) -> set:
@@ -145,11 +161,13 @@ def run_docs_phase() -> dict:
     }
 
 
-def run_phase(name: str, argv) -> dict:
+def run_phase(name: str, argv, extra_env=None) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if extra_env:
+        env.update(extra_env)
     start = time.perf_counter()
     proc = subprocess.run([sys.executable] + argv, cwd=REPO, env=env)
     return {
@@ -160,10 +178,84 @@ def run_phase(name: str, argv) -> dict:
     }
 
 
+def sanitizer_env() -> "dict | None":
+    """Environment for the sanitized-equivalence phase (None = skip).
+
+    The native kernels are rebuilt with ASan+UBSan
+    (``REPRO_NATIVE_SANITIZE=1``) and dlopened into a non-ASan
+    interpreter, which requires the ASan runtime first in the library
+    list — hence the ``LD_PRELOAD``.  Leak checking is disabled:
+    CPython itself holds allocations for the process lifetime, and the
+    kernels never allocate.
+    """
+    cc = shutil.which("cc")
+    if cc is None:
+        return None
+    try:
+        libasan = subprocess.run(
+            [cc, "-print-file-name=libasan.so"],
+            capture_output=True, text=True, timeout=30,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if not libasan or not os.path.isabs(libasan) or not os.path.exists(libasan):
+        return None
+    return {
+        "REPRO_NATIVE_SANITIZE": "1",
+        "LD_PRELOAD": libasan,
+        "ASAN_OPTIONS": "detect_leaks=0",
+    }
+
+
+def run_sanitize_phase() -> dict:
+    """Equivalence suite over sanitizer-instrumented native kernels.
+
+    A preflight asserts the instrumented library actually builds and
+    loads — otherwise the equivalence suite would silently pass on the
+    pure-Python fallback and the phase would prove nothing.
+    """
+    start = time.perf_counter()
+    env = sanitizer_env()
+
+    def result(status: str, ok: bool) -> dict:
+        return {
+            "phase": "sanitize-equivalence",
+            "status": status,
+            "seconds": time.perf_counter() - start,
+            "ok": ok,
+        }
+
+    if env is None:
+        print("sanitize: no working ASan toolchain found; skipping")
+        return result("skipped (no sanitizer)", True)
+    preflight = run_phase(
+        "sanitize-preflight",
+        ["-c",
+         "from repro.arch.native import native_available, build_error; "
+         "import sys; ok = native_available(); "
+         "print(build_error() or 'sanitized kernels loaded'); "
+         "sys.exit(0 if ok else 3)"],
+        extra_env=env,
+    )
+    if not preflight["ok"]:
+        # A present-but-broken sanitizer toolchain must fail loudly,
+        # not skip: the build error was printed by the preflight.
+        return result("FAIL (sanitized build/load)", False)
+    phase = run_phase(
+        "sanitize-equivalence", ["-m", "pytest", "-q", "-m", "equivalence"],
+        extra_env=env,
+    )
+    phase["seconds"] = time.perf_counter() - start
+    return phase
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", action="store_true",
                         help="record fresh BENCH_replay.json + history snapshots")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="re-run the equivalence suite over "
+                             "ASan/UBSan-instrumented native kernels")
     parser.add_argument("--skip-tier1", action="store_true",
                         help="run only the marker suites (fast re-check)")
     parser.add_argument("--skip-scale", action="store_true",
@@ -173,11 +265,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     phases = []
+    print("\n=== static ===")
+    phases.append(
+        run_phase("static", [str(REPO / "tools" / "check_static.py")])
+    )
     for name, tier_argv in TIERS:
         if args.skip_tier1 and name == "tier-1":
             continue
         print(f"\n=== {name} ===")
         phases.append(run_phase(name, tier_argv))
+    if args.sanitize:
+        print("\n=== sanitize-equivalence ===")
+        phases.append(run_sanitize_phase())
     print("\n=== docs ===")
     phases.append(run_docs_phase())
     if not args.skip_scale:
