@@ -5,13 +5,14 @@
     python -m repro all                  # every figure and table
     python -m repro fig8 --quick         # reduced interaction counts
     python -m repro figscale --quick     # overhead vs trace length
+    python -m repro figattack --quick    # attack channels vs observation
 
 On a multi-core host every figure runs through the vector engine and a
 chunked process pool by default (``--jobs``/``--chunk``); ``--jobs 1``
 restores the serial path with bit-identical output.  ``--plot-dir DIR``
 additionally renders SVG charts for the figures that have plotters
-(fig6, fig8, figscale); ``--check-golden`` verifies a quick run
-against the pinned golden numbers (CI's scale smoke phase).
+(fig6, fig8, figscale, figattack); ``--check-golden`` verifies a quick
+run against the pinned golden numbers (CI's scale smoke phase).
 """
 
 from __future__ import annotations
@@ -29,12 +30,15 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_figattack,
     run_figscale,
     run_interactivity_table,
 )
 from repro.experiments.ablations import run_all_ablations
 from repro.experiments.fig6 import plot_fig6
 from repro.experiments.fig8 import plot_fig8
+from repro.experiments import figattack as _figattack
+from repro.experiments.figattack import plot_figattack
 from repro.experiments.figscale import QUICK_SCALES, SCALES, plot_figscale
 from repro.experiments.store import get_store
 
@@ -49,6 +53,9 @@ EXPERIMENTS = {
     "figscale": lambda s, quick: run_figscale(
         s, scales=QUICK_SCALES if quick else SCALES
     ),
+    "figattack": lambda s, quick: run_figattack(
+        s, scales=_figattack.QUICK_SCALES if quick else _figattack.SCALES
+    ),
     "tables": lambda s, quick: run_interactivity_table(s),
     "ablations": lambda s, quick: run_all_ablations(s),
 }
@@ -58,12 +65,14 @@ PLOTTERS = {
     "fig6": plot_fig6,
     "fig8": plot_fig8,
     "figscale": plot_figscale,
+    "figattack": plot_figattack,
 }
 
 #: Experiments whose quick payload is pinned in the golden file and can
 #: be re-checked from the CLI: name -> payload extractor.
 GOLDEN_PAYLOADS = {
     "figscale": lambda data: data.as_payload(),
+    "figattack": lambda data: data.as_payload(),
 }
 
 GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "figures_quick.json"
@@ -195,13 +204,13 @@ def main(argv=None) -> int:
         "--plot-dir",
         default=None,
         help="render SVG charts here for figures with plotters "
-             "(fig6, fig8, figscale)",
+             "(fig6, fig8, figscale, figattack)",
     )
     parser.add_argument(
         "--check-golden",
         action="store_true",
         help="verify quick output against tests/golden/figures_quick.json "
-             "(supported: figscale)",
+             "(supported: figscale, figattack)",
     )
     args = parser.parse_args(argv)
 

@@ -93,6 +93,7 @@ _ENV_VIEWS = {"vars", "globals", "locals"}
 _REPLAY_PREFIXES = (
     "src/repro/arch/", "src/repro/model/", "src/repro/sim/",
     "src/repro/machines/", "src/repro/secure/", "src/repro/workloads/",
+    "src/repro/attacks/",
 )
 
 

@@ -360,6 +360,24 @@ class MemoryHierarchy:
             stale = {line for line in replicated if (line >> shift) in frameset}
             replicated.difference_update(stale)
 
+    def invalidate_replicas(self) -> int:
+        """Forget every context's replica bookkeeping (reconfiguration).
+
+        Cluster reconfiguration hands whole L2 slices to the other
+        domain; the contexts passed to the engine already carry their
+        *new* bindings, so a core-intersection purge cannot see which
+        context's replica copies lived in the transferred slices — a
+        context that just *lost* cores would keep stale one-hop entries
+        for lines it can no longer reach.  Dropping all replica state
+        is the conservative (and latency-only) invalidation the real
+        purge performs.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        for ctx in self._replicating_contexts():
+            dropped += len(ctx._replicated)
+            ctx._replicated.clear()
+        return dropped
+
     def frames_homed_in(self, slices: Sequence[int]) -> List[int]:
         """All frames whose home lies in the given slice set."""
         mask = np.isin(self.home_table, np.asarray(list(slices), dtype=np.int32))

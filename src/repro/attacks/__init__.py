@@ -13,6 +13,8 @@ from repro.attacks.covert_channel import CacheCovertChannel
 from repro.attacks.spectre import SpectreAttack
 from repro.attacks.noc_probe import NocTimingProbe
 from repro.attacks.analysis import bit_error_rate, recovery_rate
+from repro.attacks.scenarios import ATTACK_KINDS, run_attack_scenario
+from repro.attacks.seeding import attack_rng
 
 __all__ = [
     "AttackEnvironment",
@@ -22,4 +24,7 @@ __all__ = [
     "NocTimingProbe",
     "bit_error_rate",
     "recovery_rate",
+    "ATTACK_KINDS",
+    "run_attack_scenario",
+    "attack_rng",
 ]

@@ -1,16 +1,35 @@
-"""Leakage metrics for the attack harnesses."""
+"""Leakage metrics for the attack harnesses.
+
+Every estimator here feeds attack payloads that are persisted in the
+result store and golden-pinned, so degenerate inputs must never poison
+a payload with NaN/Inf or raise bare arithmetic errors:
+
+* empty measurement sets return the defined "no evidence" value (0.0
+  error/information — an empty transcript carries no leakage);
+* all-identical timings are a valid, signal-free observation (see
+  :func:`classify_by_threshold`);
+* truly invalid input — misaligned sequences, non-finite or
+  out-of-range probabilities, empty calibration — raises
+  :class:`repro.errors.AnalysisError`.
+"""
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
 
 
 def recovery_rate(secrets: Sequence[int], recovered: Sequence[Optional[int]]) -> float:
-    """Fraction of trials where the exact secret was recovered."""
+    """Fraction of trials where the exact secret was recovered.
+
+    Zero trials means zero demonstrated recovery (0.0), not an error;
+    misaligned sequences raise :class:`~repro.errors.AnalysisError`.
+    """
     if len(secrets) != len(recovered):
-        raise ValueError("secrets and recoveries must align")
+        raise AnalysisError("secrets and recoveries must align")
     if not secrets:
         return 0.0
     hits = sum(1 for s, r in zip(secrets, recovered) if s == r)
@@ -18,9 +37,14 @@ def recovery_rate(secrets: Sequence[int], recovered: Sequence[Optional[int]]) ->
 
 
 def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
-    """Errors per transmitted bit."""
+    """Errors per transmitted bit.
+
+    A zero-trial transmission has a defined BER of 0.0 (no errors were
+    observed, none could be); misaligned bit strings raise
+    :class:`~repro.errors.AnalysisError`.
+    """
     if len(sent) != len(received):
-        raise ValueError("bit strings must align")
+        raise AnalysisError("bit strings must align")
     if not sent:
         return 0.0
     return sum(1 for s, r in zip(sent, received) if s != r) / len(sent)
@@ -33,7 +57,8 @@ def mutual_information_bits(
 
     A working channel over n symbols approaches log2(n); a severed
     channel approaches zero.  Plug-in estimator; adequate for the test
-    sizes used here.
+    sizes used here.  Empty and single-sample transcripts carry no
+    measurable information and return 0.0.
     """
     pairs = list(pairs)
     if not pairs:
@@ -52,7 +77,58 @@ def mutual_information_bits(
 
 
 def channel_capacity_estimate(error_rate: float) -> float:
-    """Binary symmetric channel capacity for a measured error rate."""
+    """Binary symmetric channel capacity for a measured error rate.
+
+    ``error_rate`` must be a finite probability in [0, 1]; anything
+    else (NaN from a degenerate upstream divide, a count that was never
+    normalized) raises :class:`~repro.errors.AnalysisError` instead of
+    silently poisoning a stored payload.
+    """
+    if not isinstance(error_rate, (int, float)) or isinstance(error_rate, bool):
+        raise AnalysisError(f"error rate must be a number, got {error_rate!r}")
+    if not math.isfinite(error_rate) or not 0.0 <= error_rate <= 1.0:
+        raise AnalysisError(
+            f"error rate must be a finite probability in [0, 1], got {error_rate!r}"
+        )
     p = min(max(error_rate, 1e-12), 1 - 1e-12)
     entropy = -p * math.log2(p) - (1 - p) * math.log2(1 - p)
     return 1.0 - entropy
+
+
+def classify_by_threshold(
+    zero_calibration: Sequence[float],
+    one_calibration: Sequence[float],
+    samples: Sequence[float],
+) -> List[int]:
+    """Classify timing ``samples`` against two calibration populations.
+
+    The receiver of a timing channel calibrates with a known 0-symbol
+    and a known 1-symbol, then thresholds at the midpoint of the two
+    calibration means.  Degenerate cases are *defined*, not errors:
+
+    * all-identical timings (both calibrations equal — the channel
+      shows no observable difference) classify every sample as 0: a
+      signal-free channel carries nothing, and the caller's BER
+      against random bits lands at chance;
+    * an inverted channel (0-symbol slower than 1-symbol) still
+      classifies correctly — the comparison follows the calibration
+      polarity, not a fixed direction;
+    * empty ``samples`` returns an empty classification.
+
+    Empty or non-finite calibration input is truly invalid and raises
+    :class:`~repro.errors.AnalysisError`.
+    """
+    if not zero_calibration or not one_calibration:
+        raise AnalysisError("calibration populations must be non-empty")
+    zero_mean = sum(zero_calibration) / len(zero_calibration)
+    one_mean = sum(one_calibration) / len(one_calibration)
+    if not (math.isfinite(zero_mean) and math.isfinite(one_mean)):
+        raise AnalysisError("calibration timings must be finite")
+    if zero_mean == one_mean:
+        # No observable difference between the symbols: the channel is
+        # severed, and every sample reads as the null symbol.
+        return [0 for _ in samples]
+    threshold = (zero_mean + one_mean) / 2.0
+    if one_mean > zero_mean:
+        return [1 if s > threshold else 0 for s in samples]
+    return [1 if s < threshold else 0 for s in samples]

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.attacks.environment import AttackEnvironment
 from repro.attacks.prime_probe import PrimeProbeAttack
+from repro.attacks.seeding import attack_rng
 
 
 @dataclass
@@ -46,10 +47,15 @@ class CacheCovertChannel:
         self._pp = PrimeProbeAttack(env)
 
     def transmit(
-        self, bits: List[int], rng: Optional[np.random.Generator] = None
+        self,
+        bits: List[int],
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> CovertChannelResult:
+        """Transmit ``bits``; ``rng``/``seed`` drive the severed-channel noise."""
         env = self.env
-        rng = rng or np.random.default_rng(2)
+        if rng is None:
+            rng = attack_rng(seed, "covert", env.model)
         pp = self._pp
 
         # Sender's page; the agreed set derives from its layout.

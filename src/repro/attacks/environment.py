@@ -2,10 +2,13 @@
 
 ``AttackEnvironment`` builds a hierarchy with a victim (secure) process
 and an attacker (insecure) process entitled according to the chosen
-model: ``"sgx"`` (temporal sharing, no partitioning — the attacker can
-home data anywhere and co-run on the victim's cores), ``"mi6"`` (static
-L2/DRAM halves, purge on crossings) or ``"ironhide"`` (spatial
-clusters).  The attack classes drive these contexts.
+model: ``"insecure"`` (the unprotected baseline — full sharing, no
+hardware checks), ``"sgx"`` (temporal sharing, no partitioning — the
+attacker can home data anywhere and co-run on the victim's cores;
+microarchitecturally indistinguishable from the baseline, which is the
+paper's point), ``"mi6"`` (static L2/DRAM halves, purge on crossings)
+or ``"ironhide"`` (spatial clusters).  The attack classes drive these
+contexts.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from repro.secure.isolation import SpatialClusterPolicy, StaticPartitionPolicy, 
 from repro.secure.purge import PurgeModel
 from repro.secure.spectre_guard import SpectreGuard
 
-ISOLATION_MODELS = ("sgx", "mi6", "ironhide")
+ISOLATION_MODELS = ("insecure", "sgx", "mi6", "ironhide")
 
 
 @dataclass
@@ -50,7 +53,7 @@ class AttackEnvironment:
             raise ConfigError(f"unknown isolation model {model!r}")
         config = config or SystemConfig.evaluation()
         hier = MemoryHierarchy(config)
-        if model == "sgx":
+        if model in ("insecure", "sgx"):
             plan = UnifiedPolicy().plan(config, hier.mesh, hier.dram)
         elif model == "mi6":
             plan = StaticPartitionPolicy().plan(config, hier.mesh, hier.dram)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.attacks.environment import AttackEnvironment
+from repro.attacks.seeding import attack_rng
 from repro.errors import CacheIsolationViolation
 
 
@@ -47,6 +48,12 @@ class PrimeProbeAttack:
 
     _VICTIM_PAGE = 0
     _ATTACKER_PAGE_BASE = 1 << 20
+    #: Give-up bound: if none of the first this-many attacker pages is
+    #: homed in the target slice, none ever will be — homing follows
+    #: the isolation plan deterministically, so an empty prefix proves
+    #: the partition is structural and the search stops early instead
+    #: of touching every candidate page.
+    _GIVE_UP_PAGES = 256
 
     def __init__(self, env: AttackEnvironment, max_search_pages: int = 4096):
         self.env = env
@@ -84,7 +91,12 @@ class PrimeProbeAttack:
         ways = env.config.l2_slice.associativity
         wanted = set(target_sets)
         coverage: Dict[int, List[Tuple[int, int]]] = {s: [] for s in target_sets}
+        matched = 0
         for i in range(self.max_search_pages):
+            if i >= self._GIVE_UP_PAGES and not matched:
+                # Structurally partitioned: no allocation will ever
+                # land in the target slice, so stop probing pages.
+                break
             vpage = self._ATTACKER_PAGE_BASE + i
             try:
                 self._touch(env.attacker, vpage)
@@ -93,6 +105,7 @@ class PrimeProbeAttack:
             frame = self._frame(env.attacker, vpage)
             if int(env.hier.home_table[frame]) != home_slice:
                 continue
+            matched += 1
             base = self._base_set(frame)
             for line_in_page in range(self._lines_per_page):
                 cache_set = (base + line_in_page) & (self._n_sets - 1)
@@ -102,10 +115,23 @@ class PrimeProbeAttack:
                 break
         return coverage
 
-    def run(self, secret: int, rng: Optional[np.random.Generator] = None) -> PrimeProbeResult:
-        """Attempt to recover the victim's secret line index."""
+    def run(
+        self,
+        secret: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> PrimeProbeResult:
+        """Attempt to recover the victim's secret line index.
+
+        ``rng`` drives the chance-level guess a severed channel
+        degrades to.  Callers threading :class:`ExperimentSettings`
+        pass either a generator derived from ``settings.seed`` or the
+        seed itself; the default derivation keeps bare ``run(secret)``
+        calls deterministic.
+        """
         env = self.env
-        rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = attack_rng(seed, "prime_probe", env.model)
         if not 0 <= secret < self._lines_per_page:
             raise ValueError(f"secret must be a line index < {self._lines_per_page}")
 
@@ -148,9 +174,15 @@ class PrimeProbeAttack:
                 break
         return PrimeProbeResult(env.model, secret, recovered, True, self._lines_per_page)
 
-    def trial_success_rate(self, secrets, rng: Optional[np.random.Generator] = None) -> float:
+    def trial_success_rate(
+        self,
+        secrets,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> float:
         """Fraction of independent trials recovering the exact secret."""
-        rng = rng or np.random.default_rng(1)
+        if rng is None:
+            rng = attack_rng(seed, "prime_probe_trials", self.env.model)
         secrets = [int(s) for s in secrets]
         wins = 0
         for secret in secrets:

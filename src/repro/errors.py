@@ -42,6 +42,14 @@ class SpeculativeAccessBlocked(IsolationViolation):
     """The speculative-state hardware check discarded an access."""
 
 
+class AnalysisError(ReproError, ValueError):
+    """Invalid input to a leakage estimator (misaligned or malformed).
+
+    Subclasses ``ValueError`` too, so callers that predate the typed
+    hierarchy (and tests asserting ``ValueError``) keep working.
+    """
+
+
 class AttestationError(ReproError):
     """The secure kernel rejected a process's measurement or signature."""
 

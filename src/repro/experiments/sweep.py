@@ -321,6 +321,34 @@ def _run_scaled_pair(unit: WorkUnit, settings):
     return _runner.run_one(app, unit.machine, settings)
 
 
+def attack_unit(kind: str, machine_name: str, scale: float) -> WorkUnit:
+    """One attack scenario on one isolation model at one trace scale.
+
+    ``machine`` is the isolation model the attack environment builds
+    (which includes ``"insecure"``, not a registered machine driver);
+    the attack kind rides in ``variant`` and the scale in ``params``,
+    so every grid point gets its own store key.  ``settings.seed``
+    enters the key through the standard key tail, keeping reseeded
+    sweeps apart.
+    """
+    return WorkUnit(
+        "attack",
+        machine=machine_name,
+        variant=kind,
+        params=(float(scale),),
+    )
+
+
+@unit_runner("attack")
+def _run_attack(unit: WorkUnit, settings):
+    """Execute one attack scenario; returns its JSON-able payload."""
+    from repro.attacks.scenarios import run_attack_scenario
+
+    return run_attack_scenario(
+        unit.variant, unit.machine, settings.config, float(unit.params[0]), settings.seed
+    )
+
+
 def build_predictor(spec: Tuple):
     """Instantiate the re-allocation predictor a ``predicted`` unit names.
 

@@ -88,6 +88,13 @@ class ReconfigEngine:
         report.cores_reallocated = len(realloc)
         if realloc:
             hier.purge_private(realloc)
+            # The core purge only clears replica bookkeeping of contexts
+            # that still intersect the reallocated cores — a context that
+            # *lost* them (its new bindings are already in place) would
+            # keep stale one-hop entries for replica copies that lived in
+            # the transferred slices.  Reconfiguration invalidates every
+            # context's replicas outright.
+            hier.invalidate_replicas()
             # Cores flush in parallel: one dummy-buffer pass + TLB flush.
             report.flush_cycles = (
                 costs.dummy_buffer_lines * costs.dummy_read_line_cycles

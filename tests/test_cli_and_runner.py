@@ -186,6 +186,45 @@ class TestPersistentSweeps:
             )
         assert runs["serial"] == runs["pooled"] == runs["chunked"] == runs["chunk-2"]
 
+    def test_figattack_jobs_invariance(self):
+        """figattack output is identical serial, pooled and chunked."""
+        from repro.experiments.figattack import run_figattack
+
+        runs = {}
+        for label, jobs, chunk in (
+            ("serial", 1, None),
+            ("pooled", 4, None),
+            ("chunk-2", 4, 2),
+        ):
+            settings = ExperimentSettings(no_cache=True)
+            runs[label] = run_figattack(
+                settings, scales=(1.0, 2.0), verbose=False, jobs=jobs, chunk=chunk
+            )
+        assert runs["serial"] == runs["pooled"] == runs["chunk-2"]
+
+    def test_figattack_store_identity(self, tmp_path):
+        """A serial and a ``--jobs 2 --chunk 2`` figattack run persist
+        byte-identical store contents: the chunk workers' write-through
+        must derive the exact keys and payload encodings the serial
+        path does."""
+        from repro.experiments import store as store_mod
+        from repro.experiments.figattack import run_figattack
+
+        contents = {}
+        for label, jobs, chunk in (("serial", 1, None), ("chunked", 2, 2)):
+            store_mod.reset_stores()
+            cache_dir = tmp_path / label
+            settings = ExperimentSettings(cache_dir=str(cache_dir))
+            run_figattack(
+                settings, scales=(1.0,), verbose=False, jobs=jobs, chunk=chunk
+            )
+            contents[label] = {
+                p.name: p.read_bytes()
+                for p in sorted(cache_dir.rglob("*"))
+                if p.is_file()
+            }
+        assert contents["serial"] == contents["chunked"]
+
     def test_ablations_jobs_invariance(self):
         """Every ablation is identical with --jobs 1 and --jobs 4."""
         from repro.experiments.ablations import run_all_ablations

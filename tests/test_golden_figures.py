@@ -79,6 +79,21 @@ def test_figscale_bit_exact(golden, measured):
     assert golden["figscale"]["scales"] == [1.0, 2.0, 4.0, 8.0]
 
 
+def test_figattack_bit_exact(golden, measured):
+    """The attack-channel grid stays frozen on both engines: every
+    (kind, model, scale) payload, plus the security story itself —
+    MI6's purge-timing channel leaks while IRONHIDE severs every
+    modulated channel at every observation budget."""
+    assert measured["figattack"] == golden["figattack"]
+    assert golden["figattack"]["scales"] == [1.0, 2.0, 4.0, 8.0]
+    results = golden["figattack"]["results"]
+    assert all(p["ber"] == 0.0 for p in results["purge_timing"]["mi6"])
+    # Chance-level at the longest observation (short transmissions can
+    # randomly land low, so only the largest budget is asserted).
+    for kind in ("covert", "purge_timing", "noc_covert"):
+        assert results[kind]["ironhide"][-1]["ber"] > 0.2
+
+
 def test_ablation_homing_bit_exact(golden, measured):
     assert measured["ablation_homing"] == golden["ablation_homing"]
 

@@ -492,3 +492,32 @@ class TestMachineEquivalence:
             )
             results[key] = run_one(get_app("<MEMCACHED, OS>"), "mi6", settings)
         assert results["batched"] == results["loop"]
+
+
+class TestAttackEquivalence:
+    """Attack scenario payloads are engine-invariant.
+
+    The harnesses replay their probe traces through the same hierarchy
+    the figures use, so their stored (and golden-pinned) payloads must
+    be bit-identical between the scalar oracle and the vector engine on
+    every backend — a warm figattack cache can then never mask an
+    engine divergence (the engine rides in the store key's config
+    hash).
+    """
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["prime_probe", "covert", "noc_probe", "spectre", "purge_timing", "noc_covert"],
+    )
+    def test_attack_payload_engine_invariant(self, kind, backend):
+        from repro.attacks.scenarios import run_attack_scenario
+
+        base = SystemConfig.evaluation()
+        for model in ("insecure", "sgx", "mi6", "ironhide"):
+            scalar = run_attack_scenario(
+                kind, model, base.with_engine("scalar"), 1.0, seed=0
+            )
+            vector = run_attack_scenario(
+                kind, model, base.with_engine("vector"), 1.0, seed=0
+            )
+            assert scalar == vector, (kind, model, backend)

@@ -289,3 +289,30 @@ class TestReconfig:
         config, hier, ctx = self._setup()
         report = ReconfigEngine(config).reconfigure(hier, [ctx], [])
         assert report.stall_cycles == 50_000
+
+    def test_reconfigure_invalidates_lost_replicas(self):
+        """A replicating context that *loses* its cores in the event
+        must not keep stale one-hop replica entries: its replica
+        copies lived in slices the event handed to the other domain,
+        but the contexts passed to the engine already carry their new
+        bindings, so the core purge never intersects them (regression
+        for ``reconfigure`` skipping replica invalidation)."""
+        config = SystemConfig.evaluation()
+        hier = MemoryHierarchy(config)
+        vm = VirtualMemory("p", hier.address_space, [0, 1])
+        ctx = ProcessContext(
+            "p", "secure", vm, cores=[0], slices=list(range(8)),
+            controllers=[0, 1], homing="hash", replication=True,
+        )
+        trace = np.arange(600, dtype=np.int64) * 64
+        hier.run_trace(ctx, trace)  # install (L2 cold misses)
+        hier.run_trace(ctx, trace)  # L2 re-hits record replicas
+        assert ctx._replicated
+        # New bindings are already in place: the context lost core 0
+        # (its slices are untouched, so nothing is re-homed and only
+        # the replica bookkeeping is at stake).
+        ctx.cores = [4]
+        ctx.rep_core = 4
+        report = ReconfigEngine(config).reconfigure(hier, [ctx], [0])
+        assert report.cores_reallocated == 1
+        assert ctx._replicated == set()

@@ -16,19 +16,23 @@ store and trace-bundle caches cleared per run), which exercises the
 interaction-batched replay pipeline the vector engine drives.  With
 ``--figscale`` it measures the cold ``figscale --quick`` wall time on
 the vector engine — the trace-length sweep stresses long-trace
-bundles, so it guards a different axis than fig6.
+bundles, so it guards a different axis than fig6.  With ``--figattack``
+it measures the cold ``figattack --quick`` wall time — the attack grid
+is dominated by harness-driven scalar replay and environment builds,
+an axis neither figure above touches.
 
 ``--json PATH`` snapshots every number (``BENCH_replay.json`` at the
 repo root is the checked-in baseline); ``--history PATH`` additionally
 appends a timestamped snapshot line so per-PR perf trends accumulate.
 ``--check`` re-measures and exits non-zero if replay throughput, the
-fig6 e2e time or the figscale e2e time regressed more than 25% against
-the checked-in baseline.
+fig6 e2e time, the figscale e2e time or the figattack e2e time
+regressed more than 25% against the checked-in baseline.
 
 Usage:
     PYTHONPATH=src python tools/bench_replay.py [--user N] [--os N]
                                                 [--repeats K] [--store]
                                                 [--e2e] [--figscale]
+                                                [--figattack]
                                                 [--json PATH]
                                                 [--history PATH] [--check]
 
@@ -188,6 +192,34 @@ def bench_figscale(repeats: int = 2) -> dict:
     return {"vector_s": round(best, 4)}
 
 
+def bench_figattack(repeats: int = 2) -> dict:
+    """Cold ``figattack --quick`` wall time on the vector engine.
+
+    Same hygiene as :func:`bench_e2e` — interned stores are dropped per
+    run — over the quick attack grid.  Its cost profile is unlike the
+    figures': thousands of tiny harness-driven ``run_trace`` calls and
+    per-trial environment builds, so it guards the scalar replay path
+    and the attack harnesses themselves.
+    """
+    from repro.experiments import store as store_mod
+    from repro.experiments.figattack import QUICK_SCALES, run_figattack
+    from repro.experiments.golden import quick_settings
+    from repro.sim.bundle import clear_bundle_cache
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        store_mod.reset_stores()
+        clear_bundle_cache()
+        settings = quick_settings("vector")
+        start = time.perf_counter()
+        run_figattack(settings, scales=QUICK_SCALES, verbose=False)
+        best = min(best, time.perf_counter() - start)
+    store_mod.reset_stores()
+    clear_bundle_cache()
+    print(f"  e2e figattack --quick cold [vector ] {best:6.2f} s")
+    return {"vector_s": round(best, 4)}
+
+
 def append_history(history_path: str, snapshot: dict) -> None:
     """Append one timestamped snapshot line (JSONL trajectory)."""
     from repro.experiments.store import MODEL_VERSION
@@ -233,6 +265,14 @@ def check_regressions(baseline: dict, current: dict) -> "list[str]":
             f"{(cur_fs / base_fs - 1) * 100:.0f}% above baseline "
             f"{base_fs:.2f}s"
         )
+    base_fa = baseline.get("figattack_e2e", {}).get("vector_s")
+    cur_fa = current.get("figattack_e2e", {}).get("vector_s")
+    if base_fa and cur_fa and cur_fa > base_fa * (1.0 + REGRESSION_THRESHOLD):
+        failures.append(
+            f"cold figattack --quick e2e {cur_fa:.2f}s is "
+            f"{(cur_fa / base_fa - 1) * 100:.0f}% above baseline "
+            f"{base_fa:.2f}s"
+        )
     return failures
 
 
@@ -250,6 +290,8 @@ def main(argv=None) -> int:
                         help="also measure cold fig6 --quick end to end")
     parser.add_argument("--figscale", action="store_true",
                         help="also measure cold figscale --quick (vector)")
+    parser.add_argument("--figattack", action="store_true",
+                        help="also measure cold figattack --quick (vector)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write a machine-readable metrics snapshot here")
     parser.add_argument("--history", dest="history_path", default=None,
@@ -324,6 +366,8 @@ def main(argv=None) -> int:
             snapshot["e2e"] = bench_e2e(repeats=2)
         if baseline.get("figscale_e2e") or args.figscale:
             snapshot["figscale_e2e"] = bench_figscale(repeats=2)
+        if baseline.get("figattack_e2e") or args.figattack:
+            snapshot["figattack_e2e"] = bench_figattack(repeats=2)
         if not baseline.get("e2e"):
             print("WARNING: baseline has no 'e2e' section — end-to-end "
                   "regressions are NOT guarded; refresh it with "
@@ -331,6 +375,10 @@ def main(argv=None) -> int:
         if not baseline.get("figscale_e2e"):
             print("WARNING: baseline has no 'figscale_e2e' section — "
                   "trace-length e2e regressions are NOT guarded; refresh "
+                  "it with run_tiers.py --bench", file=sys.stderr)
+        if not baseline.get("figattack_e2e"):
+            print("WARNING: baseline has no 'figattack_e2e' section — "
+                  "attack-grid e2e regressions are NOT guarded; refresh "
                   "it with run_tiers.py --bench", file=sys.stderr)
         if not baseline.get("accesses_per_s", {}).get("vector"):
             print("WARNING: baseline has no vector throughput — replay "
@@ -347,6 +395,8 @@ def main(argv=None) -> int:
             snapshot["e2e"] = bench_e2e()
         if args.figscale:
             snapshot["figscale_e2e"] = bench_figscale()
+        if args.figattack:
+            snapshot["figattack_e2e"] = bench_figattack()
 
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as fh:

@@ -21,15 +21,19 @@ A ``scale`` smoke phase runs
 ``python -m repro figscale --quick --jobs 2 --chunk 2 --check-golden``:
 the chunked process pool must complete the trace-length sweep and
 reproduce the serially-collected golden numbers bit-exactly
-(``--skip-scale`` skips it).
+(``--skip-scale`` skips it).  An ``attack`` smoke phase does the same
+for the attack-channel grid
+(``python -m repro figattack --quick --jobs 2 --chunk 2
+--check-golden``; ``--skip-attack`` skips it).
 
 Perf is guarded too: unless ``--skip-bench-check`` is given, a final
 phase runs ``bench_replay.py --check``, which fails if replay
-throughput, the cold ``fig6 --quick`` end-to-end time or the cold
-``figscale --quick`` end-to-end time regressed >25% against the
-checked-in ``BENCH_replay.json``.  With ``--bench`` the benchmark
-instead records a fresh ``BENCH_replay.json`` snapshot (including the
-e2e and figscale numbers) and appends a timestamped line to
+throughput, the cold ``fig6 --quick`` end-to-end time, the cold
+``figscale --quick`` end-to-end time or the cold ``figattack --quick``
+end-to-end time regressed >25% against the checked-in
+``BENCH_replay.json``.  With ``--bench`` the benchmark instead records
+a fresh ``BENCH_replay.json`` snapshot (including the e2e, figscale
+and figattack numbers) and appends a timestamped line to
 ``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
 
 With ``--sanitize``, an opt-in phase re-runs the equivalence suite
@@ -41,7 +45,8 @@ toolchain lacks working sanitizers.
 
 Usage:
     python tools/run_tiers.py [--bench] [--sanitize] [--skip-tier1]
-                              [--skip-scale] [--skip-bench-check]
+                              [--skip-scale] [--skip-attack]
+                              [--skip-bench-check]
 """
 
 from __future__ import annotations
@@ -260,6 +265,8 @@ def main(argv=None) -> int:
                         help="run only the marker suites (fast re-check)")
     parser.add_argument("--skip-scale", action="store_true",
                         help="skip the chunked-pool figscale smoke phase")
+    parser.add_argument("--skip-attack", action="store_true",
+                        help="skip the chunked-pool figattack smoke phase")
     parser.add_argument("--skip-bench-check", action="store_true",
                         help="skip the perf-regression gate")
     args = parser.parse_args(argv)
@@ -290,13 +297,24 @@ def main(argv=None) -> int:
                  "--chunk", "2", "--check-golden"],
             )
         )
+    if not args.skip_attack:
+        # Attack smoke: the whole attack grid must complete over the
+        # same chunked pool and match its golden section bit-exactly.
+        print("\n=== attack ===")
+        phases.append(
+            run_phase(
+                "attack",
+                ["-m", "repro", "figattack", "--quick", "--jobs", "2",
+                 "--chunk", "2", "--check-golden"],
+            )
+        )
     if args.bench:
         print("\n=== bench ===")
         phases.append(
             run_phase(
                 "bench",
                 [str(REPO / "tools" / "bench_replay.py"), "--store", "--e2e",
-                 "--figscale",
+                 "--figscale", "--figattack",
                  "--json", str(REPO / "BENCH_replay.json"),
                  "--history", str(REPO / "BENCH_history.jsonl")],
             )
