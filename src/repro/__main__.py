@@ -41,6 +41,7 @@ from repro.experiments import figattack as _figattack
 from repro.experiments.figattack import plot_figattack
 from repro.experiments.figscale import QUICK_SCALES, SCALES, plot_figscale
 from repro.experiments.store import get_store
+from repro import faults as faults_mod
 
 #: name -> driver(settings, quick).  ``quick`` only matters to drivers
 #: with their own quick-mode shape (figscale's reduced scale grid); the
@@ -100,6 +101,20 @@ def chunk_arg(value: str):
     if chunk < 1:
         raise argparse.ArgumentTypeError(f"chunk size must be >= 1, got {chunk}")
     return chunk
+
+
+def fault_arg(value: str) -> str:
+    """Validate a ``--faults`` spec at argparse time.
+
+    The real plan is built later (it folds in ``--seed`` and the cache
+    directory's token dir); here the grammar and site names are checked
+    so typos fail as usage errors instead of mid-sweep.
+    """
+    try:
+        faults_mod.FaultPlan.parse(value, seed=0)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 def default_jobs() -> int:
@@ -212,6 +227,22 @@ def main(argv=None) -> int:
         help="verify quick output against tests/golden/figures_quick.json "
              "(supported: figscale, figattack)",
     )
+    parser.add_argument(
+        "--faults",
+        type=fault_arg,
+        default=os.environ.get("REPRO_FAULTS") or None,
+        metavar="SPEC",
+        help="chaos testing: deterministic fault-injection plan, "
+             "comma-separated site[:RATE[xCOUNT]] terms (sites: "
+             + ", ".join(faults_mod.INJECTION_SITES) + "); also read "
+             "from $REPRO_FAULTS; never enabled by default",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit a sweep heartbeat line to stderr per retry round "
+             "(off by default; stdout is unchanged either way)",
+    )
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -224,6 +255,16 @@ def main(argv=None) -> int:
         cache_max_mb=args.cache_max_mb,
     )
     settings.config = settings.config.with_engine(args.engine)
+    settings.progress = args.progress
+    if args.faults:
+        token_dir = (
+            Path(args.cache_dir) / "fault-tokens" if args.cache_dir else None
+        )
+        settings.faults = faults_mod.FaultPlan.parse(
+            args.faults, seed=args.seed, token_dir=token_dir
+        )
+        faults_mod.install(settings.faults)
+        print(f"[faults: {settings.faults.describe()}]", file=sys.stderr)
     if args.quick:
         settings = settings.quickened(4)
 
@@ -247,6 +288,19 @@ def main(argv=None) -> int:
         print(
             f"[store: {stats.hits} hits ({stats.disk_hits} from disk), "
             f"{stats.misses} misses, {stats.writes} writes -> {args.cache_dir}]"
+        )
+        if stats.quarantined:
+            print(
+                f"[store: {stats.quarantined} corrupt entries quarantined "
+                f"under {Path(args.cache_dir) / 'quarantine'}]",
+                file=sys.stderr,
+            )
+    if args.faults:
+        # Health goes to stderr like the heartbeat: golden stdout stays
+        # byte-identical between faulted and fault-free runs.
+        print(
+            f"[sweep-health: {settings.sweep_health.describe()}]",
+            file=sys.stderr,
         )
     return 1 if failures else 0
 

@@ -3,7 +3,7 @@
 This package is the static counterpart to the dynamic gates (golden
 pins, equivalence suite, bench checks): it parses the tree once and
 verifies the invariants that make the reproduction trustworthy *before*
-anything executes.  Five rule families ship today:
+anything executes.  Six rule families ship today:
 
 * ``determinism.*`` + ``hygiene.*`` — no wall clocks, no unseeded RNG,
   no set-iteration in replay paths (:mod:`repro.analysis.determinism`);
@@ -14,7 +14,10 @@ anything executes.  Five rule families ship today:
   store key, and result-shape modules cannot change without a
   ``MODEL_VERSION`` audit (:mod:`repro.analysis.cache_keys`);
 * ``mp.*`` — chunk workers never depend on module-level mutable state
-  that ``fork`` would silently fork (:mod:`repro.analysis.mp_safety`).
+  that ``fork`` would silently fork (:mod:`repro.analysis.mp_safety`);
+* ``faults.*`` — every fault-injection consult names a registered
+  site and every registered site is consulted somewhere
+  (:mod:`repro.analysis.faults`).
 
 Run it via ``python tools/check_static.py`` (or the ``static`` phase of
 ``tools/run_tiers.py``); suppress individual findings with
@@ -24,7 +27,7 @@ the rule catalog and the authoring guide for new rules.
 
 from __future__ import annotations
 
-from repro.analysis import abi, cache_keys, determinism, mp_safety  # noqa: F401
+from repro.analysis import abi, cache_keys, determinism, faults, mp_safety  # noqa: F401
 from repro.analysis.core import (  # noqa: F401
     AnalysisReport,
     Finding,

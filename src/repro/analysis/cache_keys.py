@@ -62,11 +62,14 @@ _RUNNER_REL = "src/repro/experiments/runner.py"
 _SWEEP_REL = "src/repro/experiments/sweep.py"
 _STORE_REL = "src/repro/experiments/store.py"
 
-#: Settings fields that steer *execution* (parallelism, cache plumbing)
-#: and can never change a payload; everything else must be keyed.
+#: Settings fields that steer *execution* (parallelism, cache plumbing,
+#: fault tolerance) and can never change a payload; everything else
+#: must be keyed.  ``faults`` qualifies because the chaos-equivalence
+#: gate (tools/soak_sweep.py) proves faulted runs converge to stores
+#: bit-identical to fault-free ones.
 EXECUTION_ONLY_SETTINGS = frozenset({
     "calibration_cache", "jobs", "chunk", "cache_dir", "no_cache",
-    "cache_max_mb",
+    "cache_max_mb", "faults", "progress", "sweep_health",
 })
 
 #: Repo-relative path of the model-audit manifest.

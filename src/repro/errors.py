@@ -54,5 +54,29 @@ class AttestationError(ReproError):
     """The secure kernel rejected a process's measurement or signature."""
 
 
+class InjectedFault(ReproError):
+    """A deterministic fault-injection site fired (chaos testing only).
+
+    Raised by code consulting :func:`repro.faults.should_inject`; never
+    seen in production runs because no :class:`~repro.faults.FaultPlan`
+    is installed unless ``--faults`` was given.
+    """
+
+
+class SweepExecutionError(ReproError):
+    """A sweep could not complete every work unit despite retries.
+
+    Carries the per-unit failure ledger (``failures``: unit -> list of
+    attempt failure descriptions) and the final
+    :class:`~repro.faults.SweepHealth` snapshot so callers and tests can
+    inspect exactly what was retried, recovered and exhausted.
+    """
+
+    def __init__(self, message, failures=None, health=None):
+        super().__init__(message)
+        self.failures = dict(failures) if failures else {}
+        self.health = health
+
+
 class IPCError(ReproError):
     """Misuse of the shared IPC buffer (overflow, wrong domain, ...)."""

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple, Union
 
+from repro import faults as faults_mod
 from repro.config import SystemConfig
 from repro.experiments import store as store_mod
 from repro.machines import build_machine
@@ -90,6 +91,16 @@ class ExperimentSettings:
     # Disk size cap in MB for the result store (None = unbounded);
     # least-recently-used entries are evicted on write.
     cache_max_mb: Optional[float] = None
+    # Deterministic fault-injection plan (chaos/test runs only; None in
+    # production).  Ships to pool workers inside the pickled settings.
+    faults: Optional[faults_mod.FaultPlan] = None
+    # Opt-in liveness heartbeat from run_units to stderr.
+    progress: bool = False
+    # Fault-tolerance accounting, accumulated across every sweep run
+    # under these settings (like calibration_cache, it is shared state).
+    sweep_health: faults_mod.SweepHealth = field(
+        default_factory=faults_mod.SweepHealth
+    )
 
     @property
     def cache_max_bytes(self) -> Optional[int]:
@@ -126,6 +137,9 @@ class ExperimentSettings:
             cache_dir=self.cache_dir,
             no_cache=self.no_cache,
             cache_max_mb=self.cache_max_mb,
+            faults=self.faults,
+            progress=self.progress,
+            sweep_health=self.sweep_health,
         )
 
     def cache_key(self, app: AppSpec, machine_name: str) -> Tuple:

@@ -35,12 +35,19 @@ are plain module-level functions so units stay picklable for the pool.
 from __future__ import annotations
 
 import math
+import os
+import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import faults as faults_mod
+from repro.errors import InjectedFault, SweepExecutionError
 from repro.experiments import runner as _runner
 from repro.experiments.store import ResultStore, get_store
 from repro.workloads import get_app
@@ -49,6 +56,44 @@ from repro.workloads import get_app
 #: enough chunks to amortize fork/pickle cost, small enough that a slow
 #: chunk cannot leave the other workers idle for long.
 AUTO_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`run_units` reacts to pool task failures.
+
+    ``max_attempts`` is the per-unit pool attempt budget (the
+    in-process serial fallback afterwards is extra); backoff between
+    retry rounds is ``base * 2**round`` capped at ``backoff_cap_s``,
+    with deterministic jitter derived from the sweep seed.
+    ``unit_timeout_s`` (off by default) bounds each pool task at
+    ``unit_timeout_s * units_in_task``; tasks still running at the
+    deadline count as stalled and their units are retried.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    unit_timeout_s: Optional[float] = None
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+
+def _backoff_delay(policy: RetryPolicy, seed: int, round_index: int) -> float:
+    """Capped exponential backoff with seed-derived jitter.
+
+    Jitter comes from the same SeedSequence idiom as fault injection —
+    never from wall-clock or OS entropy — so a replayed faulted sweep
+    sleeps the same schedule.
+    """
+    sequence = np.random.SeedSequence(
+        entropy=int(seed) & ((1 << 64) - 1),
+        spawn_key=(faults_mod.scope_word("sweep-backoff"), round_index),
+    )
+    rng = np.random.default_rng(sequence)
+    base = min(policy.backoff_cap_s, policy.backoff_base_s * (2.0 ** round_index))
+    return base * (0.5 + rng.random())
 
 
 @dataclass(frozen=True)
@@ -113,6 +158,11 @@ def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
 
 def execute_unit(unit: WorkUnit, settings):
     """Run one unit now, bypassing the store."""
+    scope = (unit.kind, unit.app, unit.machine, unit.variant, unit.params)
+    if faults_mod.should_inject("unit_stall", *scope):
+        time.sleep(faults_mod.active_plan().stall_s)
+    if faults_mod.should_inject("unit_exception", *scope):
+        raise InjectedFault(f"injected unit failure for {unit}")
     try:
         fn = _RUNNERS[unit.kind]
     except KeyError:
@@ -123,6 +173,19 @@ def execute_unit(unit: WorkUnit, settings):
     return fn(unit, settings)
 
 
+def _maybe_crash_worker(unit: WorkUnit) -> None:
+    """Consult the ``worker_crash`` site; hard-exit like an OOM kill.
+
+    ``os._exit`` (not ``sys.exit``) so no cleanup handlers run — the
+    parent sees exactly what a segfaulted or OOM-killed worker produces:
+    a broken pool and an abandoned tmp-file-ridden store directory.
+    """
+    if faults_mod.should_inject(
+        "worker_crash", unit.kind, unit.app, unit.machine, unit.variant, unit.params
+    ):
+        os._exit(3)
+
+
 def _run_unit_worker(args: Tuple[WorkUnit, object]):
     """Pool entry point: execute one unit, ship the result home.
 
@@ -130,6 +193,11 @@ def _run_unit_worker(args: Tuple[WorkUnit, object]):
     payload so the parent can keep later serial runs warm.
     """
     unit, settings = args
+    # Arm (or explicitly disarm) fault injection for this process: pool
+    # workers fork from the parent and must not inherit its consult
+    # counters, or injection decisions would depend on pool scheduling.
+    faults_mod.install(getattr(settings, "faults", None))
+    _maybe_crash_worker(unit)
     payload = execute_unit(unit, settings)
     return unit, payload, settings.calibration_cache
 
@@ -147,26 +215,34 @@ def _run_chunk_worker(args: Tuple[Tuple[WorkUnit, ...], object]):
     recomputed.  ``no_cache`` disables that warm re-check but keeps the
     write-through.
 
-    Returns ``(pairs, calibration_cache, store_stats)`` where ``pairs``
-    is ``[(unit, payload), ...]`` in chunk order and ``store_stats``
-    are this worker's store counters for the parent to fold in.
+    Returns ``(pairs, calibration_cache, store_stats, unpersisted)``
+    where ``pairs`` is ``[(unit, payload), ...]`` in chunk order,
+    ``store_stats`` are this worker's store counters for the parent to
+    fold in, and ``unpersisted`` lists units whose write-through was
+    dropped (store degraded mid-run) so the parent can re-persist them.
     """
     chunk_units, settings = args
+    # Arm (or explicitly disarm) fault injection for this process (see
+    # _run_unit_worker).
+    faults_mod.install(getattr(settings, "faults", None))
+    _maybe_crash_worker(chunk_units[0])
     # A private store instance (not the interned one): its counters
     # start at zero, so the parent can merge them without double
     # counting state inherited over ``fork``.
     store = ResultStore(settings.cache_dir, max_bytes=settings.cache_max_bytes)
     read = store.cache_dir is not None and not settings.no_cache
     pairs = []
+    unpersisted = []
     for unit in chunk_units:
         key = unit_cache_key(unit, settings)
         payload = store.get(key, copy_result=False) if read else None
         if payload is None:
             payload = execute_unit(unit, settings)
             if store.cache_dir is not None:
-                store.put(key, payload)
+                if not store.put(key, payload):
+                    unpersisted.append(unit)
         pairs.append((unit, payload))
-    return pairs, settings.calibration_cache, store.stats.as_dict()
+    return pairs, settings.calibration_cache, store.stats.as_dict(), tuple(unpersisted)
 
 
 def resolve_chunk(chunk: Union[int, str, None], n_pending: int, jobs: int) -> Optional[int]:
@@ -193,6 +269,147 @@ def resolve_chunk(chunk: Union[int, str, None], n_pending: int, jobs: int) -> Op
     return chunk
 
 
+def _emit_progress(settings, done, total, pending_count, retried, store) -> None:
+    """Opt-in liveness heartbeat to stderr (never stdout: golden-safe)."""
+    if not getattr(settings, "progress", False):
+        return
+    print(
+        f"[sweep] {done}/{total} units done, {pending_count} pending, "
+        f"{retried} retried, {store.stats.hits} store hits",
+        file=sys.stderr,
+    )
+
+
+def _run_pool_rounds(
+    pending, settings, worker_settings, store, jobs, chunk, policy,
+    read, copy_results, health, failures, results, needs_parent_persist,
+):
+    """Drive pending units through pool rounds with retry + backoff.
+
+    Each round submits the still-missing units (as chunks or
+    singletons), classifies failures (worker death, unit exception,
+    stall timeout), rescues units a dying chunk already published
+    through the shared store (writer-wins), then re-queues survivors
+    under the attempt budget.  Units that exhaust the budget are
+    returned for the caller's in-process serial fallback.
+    """
+    chunked = resolve_chunk(chunk, len(pending), jobs) is not None
+    remaining = list(pending)
+    attempts = {unit: 0 for unit in pending}
+    exhausted: List[WorkUnit] = []
+    round_index = 0
+    while remaining:
+        if round_index > 0:
+            time.sleep(_backoff_delay(policy, settings.seed, round_index - 1))
+            if read:
+                # Writer-wins recovery: a crashed chunk's completed
+                # units were already published through the shared
+                # directory — rescue them instead of re-running.
+                rescued = set()
+                for unit in remaining:
+                    hit = store.get(
+                        unit_cache_key(unit, settings), copy_result=copy_results
+                    )
+                    if hit is not None:
+                        results[unit] = hit
+                        health.recovered += 1
+                        rescued.add(unit)
+                remaining = [u for u in remaining if u not in rescued]
+                if not remaining:
+                    break
+        if chunked:
+            size = resolve_chunk(chunk, len(remaining), jobs)
+            groups = [
+                tuple(remaining[i : i + size])
+                for i in range(0, len(remaining), size)
+            ]
+        else:
+            groups = [(unit,) for unit in remaining]
+        for unit in remaining:
+            attempts[unit] += 1
+            health.attempts += 1
+        failed = set()
+        timeout = None
+        if policy.unit_timeout_s is not None:
+            timeout = policy.unit_timeout_s * max(len(g) for g in groups)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+            futures = {}
+            for group in groups:
+                if chunked:
+                    fut = pool.submit(_run_chunk_worker, (group, worker_settings))
+                else:
+                    fut = pool.submit(_run_unit_worker, (group[0], worker_settings))
+                futures[fut] = group
+            done, not_done = _futures_wait(futures, timeout=timeout)
+            for fut in not_done:
+                fut.cancel()
+                health.timeouts += 1
+                for unit in futures[fut]:
+                    failed.add(unit)
+                    failures.setdefault(unit, []).append(
+                        f"attempt {attempts[unit]}: stalled past "
+                        f"{timeout:g}s task deadline"
+                    )
+            if not_done:
+                pool.shutdown(wait=False, cancel_futures=True)
+            for fut in done:
+                group = futures[fut]
+                try:
+                    out = fut.result()
+                except BrokenProcessPool:
+                    health.worker_crashes += 1
+                    for unit in group:
+                        failed.add(unit)
+                        failures.setdefault(unit, []).append(
+                            f"attempt {attempts[unit]}: worker process died"
+                        )
+                    continue
+                except Exception as exc:
+                    health.unit_failures += 1
+                    for unit in group:
+                        failed.add(unit)
+                        failures.setdefault(unit, []).append(
+                            f"attempt {attempts[unit]}: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                    continue
+                if chunked:
+                    pairs, calib, stats, unpersisted = out
+                    settings.calibration_cache.update(calib)
+                    # A worker's per-unit re-check misses the same keys
+                    # the parent scan already counted as misses — merge
+                    # only the new information (writes, and disk hits
+                    # from the sibling-skip fast path).
+                    stats.pop("misses", None)
+                    store.stats.merge(stats)
+                    needs_parent_persist.update(unpersisted)
+                    for unit, payload in pairs:
+                        results[unit] = payload
+                else:
+                    unit, payload, calib = out
+                    settings.calibration_cache.update(calib)
+                    results[unit] = payload
+        retry_units = [
+            u for u in remaining
+            if u in failed and attempts[u] < policy.max_attempts
+        ]
+        newly_exhausted = [
+            u for u in remaining
+            if u in failed and attempts[u] >= policy.max_attempts
+        ]
+        health.retries += len(retry_units)
+        health.exhausted += len(newly_exhausted)
+        exhausted.extend(newly_exhausted)
+        remaining = retry_units
+        round_index += 1
+        _emit_progress(
+            settings, len(results),
+            len(results) + len(remaining) + len(exhausted),
+            len(remaining), health.retries, store,
+        )
+    return exhausted
+
+
 def run_units(
     units: Iterable[WorkUnit],
     settings=None,
@@ -200,6 +417,7 @@ def run_units(
     cache: bool = True,
     copy_results: bool = True,
     chunk: Union[int, str, None] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict[WorkUnit, object]:
     """Run every unit; returns payloads keyed by unit.
 
@@ -212,6 +430,15 @@ def run_units(
     ``copy_results=False`` returns stored objects directly for
     read-only callers (see :meth:`ResultStore.get`).
 
+    Pool task failures (worker death, unit exceptions, stall timeouts)
+    are retried per ``retry`` (default :data:`DEFAULT_RETRY`) with
+    capped exponential backoff and deterministic jitter; units that
+    exhaust the pool attempt budget degrade to an in-process serial
+    fallback.  Only when a unit fails even that does the sweep raise
+    :class:`~repro.errors.SweepExecutionError`, carrying the per-unit
+    failure ledger.  Recovery accounting merges into
+    ``settings.sweep_health``.
+
     Serial, per-unit pooled and chunked execution are bit-identical:
     units are independent and results are keyed by unit, not by
     completion order.
@@ -221,10 +448,28 @@ def run_units(
         jobs = settings.jobs
     if chunk is None:
         chunk = getattr(settings, "chunk", None)
+    policy = retry or DEFAULT_RETRY
     units = list(units)
     store = get_store(settings.cache_dir, max_bytes=settings.cache_max_bytes)
     read = cache and not settings.no_cache
 
+    # Arm this process with the sweep's fault plan (a no-op None for
+    # production runs); restore whatever was armed before on the way
+    # out so nested/legacy callers keep their state.
+    previous_plan = faults_mod.active_plan()
+    faults_mod.install(getattr(settings, "faults", None))
+    try:
+        return _run_units_armed(
+            units, settings, jobs, cache, copy_results, chunk, policy,
+            store, read,
+        )
+    finally:
+        faults_mod.install(previous_plan)
+
+
+def _run_units_armed(
+    units, settings, jobs, cache, copy_results, chunk, policy, store, read
+):
     results: Dict[WorkUnit, object] = {}
     pending: List[WorkUnit] = []
     for unit in units:
@@ -233,7 +478,14 @@ def run_units(
             results[unit] = hit
         elif unit not in results and unit not in pending:
             pending.append(unit)
+    _emit_progress(
+        settings, len(results), len(units), len(pending), 0, store
+    )
 
+    health = faults_mod.SweepHealth()
+    failures: Dict[WorkUnit, List[str]] = {}
+    needs_parent_persist = set()
+    exhausted: List[WorkUnit] = []
     chunked = False
     if pending and jobs and jobs > 1:
         # Ship pared-down settings: the calibration cache can hold
@@ -243,41 +495,67 @@ def run_units(
         worker_settings = replace(
             settings, calibration_cache={}, jobs=None, chunk=None,
             no_cache=settings.no_cache or not cache,
+            sweep_health=faults_mod.SweepHealth(),
         )
-        size = resolve_chunk(chunk, len(pending), jobs)
-        if size is not None:
-            chunked = True
-            chunks = [
-                tuple(pending[i : i + size])
-                for i in range(0, len(pending), size)
-            ]
-            tasks = [(chunk_units, worker_settings) for chunk_units in chunks]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-                for pairs, calib, stats in pool.map(_run_chunk_worker, tasks):
-                    settings.calibration_cache.update(calib)
-                    # A worker's per-unit re-check misses the same keys
-                    # the parent scan above already counted as misses —
-                    # merge only the new information (writes, and disk
-                    # hits from the sibling-skip fast path).
-                    stats.pop("misses", None)
-                    store.stats.merge(stats)
-                    for unit, payload in pairs:
-                        results[unit] = payload
-        else:
-            tasks = [(unit, worker_settings) for unit in pending]
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for unit, payload, calib in pool.map(_run_unit_worker, tasks):
-                    settings.calibration_cache.update(calib)
-                    results[unit] = payload
+        chunked = resolve_chunk(chunk, len(pending), jobs) is not None
+        exhausted = _run_pool_rounds(
+            pending, settings, worker_settings, store, jobs, chunk, policy,
+            read, copy_results, health, failures, results,
+            needs_parent_persist,
+        )
     else:
         for unit in pending:
             results[unit] = execute_unit(unit, settings)
 
+    # Graceful degradation: units the pool could not complete run
+    # in-process (after one last writer-wins store check), so a flaky
+    # pool costs time, not the sweep.
+    for unit in exhausted:
+        hit = (
+            store.get(unit_cache_key(unit, settings), copy_result=copy_results)
+            if read else None
+        )
+        if hit is not None:
+            results[unit] = hit
+            health.recovered += 1
+            continue
+        try:
+            results[unit] = execute_unit(unit, settings)
+        except Exception as exc:
+            failures.setdefault(unit, []).append(
+                f"serial fallback: {type(exc).__name__}: {exc}"
+            )
+            continue
+        health.degraded += 1
+        needs_parent_persist.add(unit)
+
+    parent_health = getattr(settings, "sweep_health", None)
+    if parent_health is not None:
+        parent_health.merge(health.as_dict())
+
+    missing = [u for u in pending if u not in results]
+    if missing:
+        raise SweepExecutionError(
+            f"{len(missing)} of {len(units)} work units failed after "
+            f"{policy.max_attempts} pool attempts and a serial fallback",
+            failures={u: failures.get(u, ["no result produced"]) for u in missing},
+            health=health,
+        )
+
     # Chunk workers already published through the shared directory;
     # memoize their payloads here without duplicating the disk write.
-    persist = not (chunked and settings.cache_dir is not None)
+    # Units a degraded worker store could not persist (and serial
+    # fallbacks) are re-persisted from the parent.
+    persist_default = not (chunked and settings.cache_dir is not None)
     for unit in pending:
-        store.put(unit_cache_key(unit, settings), results[unit], persist=persist)
+        store.put(
+            unit_cache_key(unit, settings),
+            results[unit],
+            persist=persist_default or unit in needs_parent_persist,
+        )
+    _emit_progress(
+        settings, len(results), len(units), 0, health.retries, store
+    )
     return results
 
 

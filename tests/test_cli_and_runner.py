@@ -352,6 +352,6 @@ class TestChunking:
         chunk_settings = ExperimentSettings(
             n_user=2, n_os=4, cache_dir=str(tmp_path), no_cache=True
         )
-        _, _, stats = sweep_mod._run_chunk_worker(((unit,), chunk_settings))
+        _, _, stats, _ = sweep_mod._run_chunk_worker(((unit,), chunk_settings))
         assert stats["memory_hits"] == 0 and stats["disk_hits"] == 0
         assert stats["writes"] == 1  # recomputed and re-published

@@ -229,7 +229,7 @@ class TestChunkWorkerConcurrency:
         # the parent's store scan and this worker picking up the chunk.
         ResultStore(tmp_path).put(unit_cache_key(units[0], settings), sentinel)
 
-        pairs, _, stats = sweep_mod._run_chunk_worker((tuple(units), settings))
+        pairs, _, stats, _ = sweep_mod._run_chunk_worker((tuple(units), settings))
         results = dict(pairs)
         assert results[units[0]] == sentinel  # served, not recomputed
         assert stats["disk_hits"] == 1

@@ -19,7 +19,11 @@ the vector engine — the trace-length sweep stresses long-trace
 bundles, so it guards a different axis than fig6.  With ``--figattack``
 it measures the cold ``figattack --quick`` wall time — the attack grid
 is dominated by harness-driven scalar replay and environment builds,
-an axis neither figure above touches.
+an axis neither figure above touches.  With ``--sweep-overhead`` it
+measures the fault-free per-unit scheduling tax of ``run_units``
+(store scan, fault consults, retry bookkeeping) against a bare
+``execute_unit`` loop; ``--check`` fails if that tax exceeds 2% of the
+baseline cold fig6 e2e time.
 
 ``--json PATH`` snapshots every number (``BENCH_replay.json`` at the
 repo root is the checked-in baseline); ``--history PATH`` additionally
@@ -33,6 +37,7 @@ Usage:
                                                 [--repeats K] [--store]
                                                 [--e2e] [--figscale]
                                                 [--figattack]
+                                                [--sweep-overhead]
                                                 [--json PATH]
                                                 [--history PATH] [--check]
 
@@ -60,6 +65,11 @@ from repro.workloads import APPS
 
 #: Allowed relative slowdown before ``--check`` fails.
 REGRESSION_THRESHOLD = 0.25
+
+#: Max fraction of the cold quick fig6 e2e time the fault-free
+#: retry/fault bookkeeping in ``run_units`` may cost (<2%): the
+#: robustness layer must not tax the hot path.
+SWEEP_OVERHEAD_FRACTION = 0.02
 
 
 def build_mix(n_user: int, n_os: int):
@@ -220,6 +230,52 @@ def bench_figattack(repeats: int = 2) -> dict:
     return {"vector_s": round(best, 4)}
 
 
+def bench_sweep_overhead(repeats: int = 3) -> dict:
+    """Fault-free scheduler overhead of ``run_units`` per work unit.
+
+    Runs a batch of cheap routing units twice: once through the full
+    ``run_units`` scheduler (store scan, fault consults, retry
+    bookkeeping, health accounting — serial, memory-only, cold) and
+    once as a bare ``execute_unit`` loop.  The difference, divided by
+    the unit count, is the per-unit scheduling tax the robustness layer
+    adds; ``--check`` fails if it exceeds
+    :data:`SWEEP_OVERHEAD_FRACTION` of the baseline cold fig6 e2e time.
+    """
+    from repro.experiments import store as store_mod
+    from repro.experiments.runner import ExperimentSettings
+    from repro.experiments.sweep import WorkUnit, execute_unit, run_units
+
+    n_units = 36
+    units = [
+        WorkUnit("routing", variant=f"bench{i}", params=(2, 2))
+        for i in range(n_units)
+    ]
+    best_sched = float("inf")
+    best_raw = float("inf")
+    for _ in range(max(1, repeats)):
+        store_mod.reset_stores()
+        settings = ExperimentSettings(no_cache=True)
+        start = time.perf_counter()
+        run_units(units, settings)
+        best_sched = min(best_sched, time.perf_counter() - start)
+        settings = ExperimentSettings(no_cache=True)
+        start = time.perf_counter()
+        for unit in units:
+            execute_unit(unit, settings)
+        best_raw = min(best_raw, time.perf_counter() - start)
+    store_mod.reset_stores()
+    per_unit_us = max(0.0, (best_sched - best_raw) / n_units * 1e6)
+    print(f"  run_units overhead {per_unit_us:6.1f} us/unit "
+          f"(sched {best_sched * 1e3:.1f} ms vs raw {best_raw * 1e3:.1f} ms, "
+          f"{n_units} units)")
+    return {
+        "units": n_units,
+        "per_unit_us": round(per_unit_us, 2),
+        "sched_s": round(best_sched, 4),
+        "raw_s": round(best_raw, 4),
+    }
+
+
 def append_history(history_path: str, snapshot: dict) -> None:
     """Append one timestamped snapshot line (JSONL trajectory)."""
     from repro.experiments.store import MODEL_VERSION
@@ -273,6 +329,22 @@ def check_regressions(baseline: dict, current: dict) -> "list[str]":
             f"{(cur_fa / base_fa - 1) * 100:.0f}% above baseline "
             f"{base_fa:.2f}s"
         )
+    cur_so = current.get("sweep_overhead")
+    ref_e2e = baseline.get("e2e", {}).get("vector_s")
+    if cur_so and ref_e2e:
+        # Absolute gate, not baseline-relative: the scheduler tax on a
+        # fig6-sized batch must stay under SWEEP_OVERHEAD_FRACTION of
+        # the cold quick fig6 e2e time.
+        batch_s = cur_so["per_unit_us"] * 1e-6 * cur_so["units"]
+        frac = batch_s / ref_e2e
+        if frac > SWEEP_OVERHEAD_FRACTION:
+            failures.append(
+                f"fault-free run_units bookkeeping costs "
+                f"{cur_so['per_unit_us']:.1f} us/unit "
+                f"({frac:.1%} of the {ref_e2e:.2f}s cold fig6 e2e over "
+                f"{cur_so['units']} units; limit "
+                f"{SWEEP_OVERHEAD_FRACTION:.0%})"
+            )
     return failures
 
 
@@ -292,6 +364,9 @@ def main(argv=None) -> int:
                         help="also measure cold figscale --quick (vector)")
     parser.add_argument("--figattack", action="store_true",
                         help="also measure cold figattack --quick (vector)")
+    parser.add_argument("--sweep-overhead", action="store_true",
+                        help="also measure fault-free run_units scheduler "
+                             "overhead per work unit")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write a machine-readable metrics snapshot here")
     parser.add_argument("--history", dest="history_path", default=None,
@@ -368,6 +443,8 @@ def main(argv=None) -> int:
             snapshot["figscale_e2e"] = bench_figscale(repeats=2)
         if baseline.get("figattack_e2e") or args.figattack:
             snapshot["figattack_e2e"] = bench_figattack(repeats=2)
+        if baseline.get("sweep_overhead") or args.sweep_overhead:
+            snapshot["sweep_overhead"] = bench_sweep_overhead(repeats=2)
         if not baseline.get("e2e"):
             print("WARNING: baseline has no 'e2e' section — end-to-end "
                   "regressions are NOT guarded; refresh it with "
@@ -379,6 +456,10 @@ def main(argv=None) -> int:
         if not baseline.get("figattack_e2e"):
             print("WARNING: baseline has no 'figattack_e2e' section — "
                   "attack-grid e2e regressions are NOT guarded; refresh "
+                  "it with run_tiers.py --bench", file=sys.stderr)
+        if not baseline.get("sweep_overhead"):
+            print("WARNING: baseline has no 'sweep_overhead' section — "
+                  "run_units bookkeeping overhead is NOT guarded; refresh "
                   "it with run_tiers.py --bench", file=sys.stderr)
         if not baseline.get("accesses_per_s", {}).get("vector"):
             print("WARNING: baseline has no vector throughput — replay "
@@ -397,6 +478,8 @@ def main(argv=None) -> int:
             snapshot["figscale_e2e"] = bench_figscale()
         if args.figattack:
             snapshot["figattack_e2e"] = bench_figattack()
+        if args.sweep_overhead:
+            snapshot["sweep_overhead"] = bench_sweep_overhead()
 
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as fh:

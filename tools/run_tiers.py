@@ -12,8 +12,8 @@ parity, cache-key completeness, multiprocessing safety) — must report
 zero findings.
 
 A ``docs`` phase keeps the prose honest: every repo path named in
-``docs/architecture.md``, ``docs/experiments.md``,
-``docs/scaling.md`` and ``docs/static-analysis.md`` must exist and
+``docs/architecture.md``, ``docs/experiments.md``, ``docs/scaling.md``,
+``docs/static-analysis.md`` and ``docs/reliability.md`` must exist and
 every internal link in ``docs/*.md`` must resolve (see
 :func:`check_docs`).
 
@@ -26,15 +26,25 @@ for the attack-channel grid
 (``python -m repro figattack --quick --jobs 2 --chunk 2
 --check-golden``; ``--skip-attack`` skips it).
 
+A ``soak`` phase (``--skip-soak`` skips it) runs
+``tools/soak_sweep.py``: repeated quick figscale sweeps over one
+shared store directory under an active fault-injection plan (worker
+crashes, injected unit exceptions, corrupted reads, one ENOSPC) must
+converge to payloads and store contents bit-identical to a fault-free
+serial baseline, with the corrupt entries quarantined and a clean
+final store audit.
+
 Perf is guarded too: unless ``--skip-bench-check`` is given, a final
 phase runs ``bench_replay.py --check``, which fails if replay
 throughput, the cold ``fig6 --quick`` end-to-end time, the cold
 ``figscale --quick`` end-to-end time or the cold ``figattack --quick``
 end-to-end time regressed >25% against the checked-in
-``BENCH_replay.json``.  With ``--bench`` the benchmark instead records
-a fresh ``BENCH_replay.json`` snapshot (including the e2e, figscale
-and figattack numbers) and appends a timestamped line to
-``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
+``BENCH_replay.json`` — or if the fault-free retry-bookkeeping
+overhead of ``run_units`` exceeds 2% of the cold quick fig6 e2e time.
+With ``--bench`` the benchmark instead records a fresh
+``BENCH_replay.json`` snapshot (including the e2e, figscale,
+figattack and sweep-overhead numbers) and appends a timestamped line
+to ``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
 
 With ``--sanitize``, an opt-in phase re-runs the equivalence suite
 over sanitizer-instrumented native kernels
@@ -46,7 +56,7 @@ toolchain lacks working sanitizers.
 Usage:
     python tools/run_tiers.py [--bench] [--sanitize] [--skip-tier1]
                               [--skip-scale] [--skip-attack]
-                              [--skip-bench-check]
+                              [--skip-soak] [--skip-bench-check]
 """
 
 from __future__ import annotations
@@ -76,7 +86,8 @@ _LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
 #: Docs whose backtick-quoted repo paths are existence-checked (the
 #: architecture map plus the user-facing experiment/scaling guides).
 PATH_CHECKED_DOCS = (
-    "architecture.md", "experiments.md", "scaling.md", "static-analysis.md"
+    "architecture.md", "experiments.md", "scaling.md", "static-analysis.md",
+    "reliability.md",
 )
 
 
@@ -267,6 +278,8 @@ def main(argv=None) -> int:
                         help="skip the chunked-pool figscale smoke phase")
     parser.add_argument("--skip-attack", action="store_true",
                         help="skip the chunked-pool figattack smoke phase")
+    parser.add_argument("--skip-soak", action="store_true",
+                        help="skip the fault-injection soak phase")
     parser.add_argument("--skip-bench-check", action="store_true",
                         help="skip the perf-regression gate")
     args = parser.parse_args(argv)
@@ -308,13 +321,24 @@ def main(argv=None) -> int:
                  "--chunk", "2", "--check-golden"],
             )
         )
+    if not args.skip_soak:
+        # Fault-injection soak: repeated faulted sweeps on one shared
+        # store must converge bit-identically to a fault-free baseline
+        # (CI-sized: two iterations).
+        print("\n=== soak ===")
+        phases.append(
+            run_phase(
+                "soak",
+                [str(REPO / "tools" / "soak_sweep.py"), "--iterations", "2"],
+            )
+        )
     if args.bench:
         print("\n=== bench ===")
         phases.append(
             run_phase(
                 "bench",
                 [str(REPO / "tools" / "bench_replay.py"), "--store", "--e2e",
-                 "--figscale", "--figattack",
+                 "--figscale", "--figattack", "--sweep-overhead",
                  "--json", str(REPO / "BENCH_replay.json"),
                  "--history", str(REPO / "BENCH_history.jsonl")],
             )

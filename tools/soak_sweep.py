@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Soak tier: repeated faulted quick sweeps must converge bit-exactly.
+
+This is the chaos-equivalence gate for the fault-tolerance layer.  It
+runs the quick ``figscale`` sweep twice over:
+
+1. **Baseline** — serial, fault-free, into its own store directory.
+2. **Soak loop** — N iterations over a chunked 2-worker pool, all on
+   one *shared* store directory, with an active
+   :class:`repro.faults.FaultPlan` (default: one worker crash, one
+   injected unit exception, two corrupted reads and one ENOSPC, all
+   count-capped via the shared token directory so the budget spans the
+   whole soak, not one process).
+
+Every iteration starts cold in memory (interned stores, bundle cache
+and calibration dropped) but warm on disk, exactly like repeated CLI
+invocations against one cache directory.  The gate asserts, per
+iteration, that the figure payload is bit-identical to the baseline's;
+and at the end that
+
+* the faulted store's entries are **byte-identical** to the fault-free
+  serial store (quarantine/, fault-tokens/ and ``*.tmp`` aside),
+* the quarantine directory actually holds the injected corrupt entries
+  (the corruption machinery demonstrably ran),
+* a read-only :meth:`ResultStore.verify` audit reports a clean store
+  (no invalid entries, no orphaned tmp files),
+* resident-set growth across the loop stays under ``--rss-limit-mb``.
+
+Wall-clock use here is fine: this is a tools/ harness; nothing it
+measures feeds a result or a cache key.
+
+Usage:
+    PYTHONPATH=src python tools/soak_sweep.py [--iterations N]
+        [--faults SPEC] [--seed S] [--rss-limit-mb MB] [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Default chaos plan: the acceptance mix — worker crashes + corrupt
+#: reads + one ENOSPC — plus one injected unit exception, all
+#: count-capped so the soak converges by construction.
+DEFAULT_FAULTS = (
+    "worker_crash:1x1,unit_exception:1x1,store_read_corrupt:1x2,"
+    "store_write_enospc:1x1"
+)
+
+
+def rss_mb() -> float:
+    """Resident set size of this process in MB (Linux /proc)."""
+    try:
+        with open("/proc/self/status", "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return 0.0
+
+
+def fresh_settings(seed: int, cache_dir: Path, jobs=None, chunk=None, faults=None):
+    """Quick-mode settings with cold caches (one CLI invocation's worth)."""
+    from repro.experiments.runner import ExperimentSettings
+
+    settings = ExperimentSettings(
+        seed=seed,
+        jobs=jobs,
+        chunk=chunk,
+        cache_dir=str(cache_dir),
+        faults=faults,
+    )
+    settings.config = settings.config.with_engine("vector")
+    return settings.quickened(4)
+
+
+def run_quick_figscale(settings) -> dict:
+    """One quick figscale sweep; returns its JSON-round-tripped payload."""
+    from repro.experiments.figscale import QUICK_SCALES, run_figscale
+
+    data = run_figscale(settings, scales=QUICK_SCALES, verbose=False)
+    return json.loads(json.dumps(data.as_payload()))
+
+
+def reset_process_caches() -> None:
+    """Back to cold-memory state (disk entries survive)."""
+    from repro.experiments import store as store_mod
+    from repro.experiments.runner import clear_result_cache
+    from repro.sim.bundle import clear_bundle_cache
+
+    store_mod.reset_stores()
+    clear_result_cache()
+    clear_bundle_cache()
+
+
+def store_entries(root: Path) -> dict:
+    """Relative path -> bytes for every store entry under ``root``.
+
+    Quarantined evidence, fault-injection tokens and tmp files are not
+    entries and are excluded from the equivalence comparison.
+    """
+    out = {}
+    for path in sorted(root.rglob("*.json")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(("quarantine/", "fault-tokens/")):
+            continue
+        out[rel] = path.read_bytes()
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=3,
+                        help="faulted sweep iterations on the shared store")
+    parser.add_argument("--faults", default=DEFAULT_FAULTS, metavar="SPEC",
+                        help="fault plan for the soak loop "
+                             f"(default: {DEFAULT_FAULTS})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rss-limit-mb", type=float, default=256.0,
+                        help="max allowed resident-set growth across the loop")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directories for inspection")
+    args = parser.parse_args(argv)
+
+    from repro import faults as faults_mod
+    from repro.experiments.store import ResultStore
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-soak-"))
+    baseline_dir = scratch / "baseline-store"
+    soak_dir = scratch / "soak-store"
+    failures = []
+    try:
+        print(f"[soak] baseline: serial fault-free quick figscale -> {baseline_dir}")
+        reset_process_caches()
+        start = time.perf_counter()
+        baseline_payload = run_quick_figscale(
+            fresh_settings(args.seed, baseline_dir)
+        )
+        print(f"[soak] baseline done in {time.perf_counter() - start:.1f}s")
+
+        plan = faults_mod.FaultPlan.parse(
+            args.faults, seed=args.seed, token_dir=soak_dir / "fault-tokens"
+        )
+        print(f"[soak] plan: {plan.describe()} "
+              f"(budgets shared via {plan.token_dir})")
+        rss_start = rss_mb()
+        for iteration in range(1, args.iterations + 1):
+            reset_process_caches()
+            settings = fresh_settings(
+                args.seed, soak_dir, jobs=2, chunk=2, faults=plan
+            )
+            start = time.perf_counter()
+            payload = run_quick_figscale(settings)
+            elapsed = time.perf_counter() - start
+            converged = payload == baseline_payload
+            print(f"[soak] iter {iteration}/{args.iterations}: {elapsed:.1f}s, "
+                  f"payload {'==' if converged else '!='} baseline, "
+                  f"health: {settings.sweep_health.describe()}, "
+                  f"rss {rss_mb():.0f} MB")
+            if not converged:
+                failures.append(
+                    f"iteration {iteration} payload diverged from baseline"
+                )
+        rss_growth = rss_mb() - rss_start
+        if rss_growth > args.rss_limit_mb:
+            failures.append(
+                f"RSS grew {rss_growth:.0f} MB over the loop "
+                f"(limit {args.rss_limit_mb:.0f} MB)"
+            )
+
+        # Chaos-equivalence gate: the faulted store's final contents
+        # must be byte-identical to the fault-free serial store.
+        base_entries = store_entries(baseline_dir)
+        soak_entries = store_entries(soak_dir)
+        if set(base_entries) != set(soak_entries):
+            only_base = sorted(set(base_entries) - set(soak_entries))[:5]
+            only_soak = sorted(set(soak_entries) - set(base_entries))[:5]
+            failures.append(
+                f"store entry sets differ (baseline-only: {only_base}, "
+                f"soak-only: {only_soak})"
+            )
+        else:
+            diff = [r for r in base_entries if base_entries[r] != soak_entries[r]]
+            if diff:
+                failures.append(
+                    f"{len(diff)} store entries differ byte-wise, e.g. {diff[:3]}"
+                )
+            else:
+                print(f"[soak] store equivalence: {len(base_entries)} entries "
+                      "byte-identical to the fault-free serial store")
+
+        quarantined = sorted((soak_dir / "quarantine").glob("*.json"))
+        if "store_read_corrupt" in args.faults and not quarantined:
+            failures.append(
+                "corrupt-read faults were injected but the quarantine "
+                "directory is empty"
+            )
+        elif quarantined:
+            print(f"[soak] quarantine holds {len(quarantined)} injected "
+                  "corrupt entries (preserved, not deleted)")
+
+        audit = ResultStore(soak_dir).verify()
+        print(f"[soak] final store audit: {audit}")
+        if audit["invalid"] or audit["tmp"]:
+            failures.append(f"final store is not clean: {audit}")
+
+        for failure in failures:
+            print(f"SOAK: {failure}", file=sys.stderr)
+        if not failures:
+            print("[soak] OK: faulted sweeps converged to a clean, "
+                  "bit-identical store")
+        return 1 if failures else 0
+    finally:
+        if args.keep:
+            print(f"[soak] scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
