@@ -41,24 +41,28 @@ from repro.experiments import figattack as _figattack
 from repro.experiments.figattack import plot_figattack
 from repro.experiments.figscale import QUICK_SCALES, SCALES, plot_figscale
 from repro.experiments.store import get_store
+from repro.machines import MACHINES
 from repro import faults as faults_mod
 
-#: name -> driver(settings, quick).  ``quick`` only matters to drivers
-#: with their own quick-mode shape (figscale's reduced scale grid); the
-#: interaction-count reduction itself rides in the settings.
+#: name -> driver(settings, quick, machines).  ``quick`` only matters
+#: to drivers with their own quick-mode shape (figscale's reduced scale
+#: grid); the interaction-count reduction itself rides in the settings.
+#: ``machines`` (from ``--machines``) restricts the machine axis of the
+#: drivers that have one; the paper figures ignore it.
 EXPERIMENTS = {
-    "fig1": lambda s, quick: run_fig1a(s),
-    "fig6": lambda s, quick: run_fig6(s),
-    "fig7": lambda s, quick: run_fig7(s),
-    "fig8": lambda s, quick: run_fig8(s),
-    "figscale": lambda s, quick: run_figscale(
-        s, scales=QUICK_SCALES if quick else SCALES
+    "fig1": lambda s, quick, machines: run_fig1a(s),
+    "fig6": lambda s, quick, machines: run_fig6(s),
+    "fig7": lambda s, quick, machines: run_fig7(s),
+    "fig8": lambda s, quick, machines: run_fig8(s),
+    "figscale": lambda s, quick, machines: run_figscale(
+        s, scales=QUICK_SCALES if quick else SCALES, machines=machines
     ),
-    "figattack": lambda s, quick: run_figattack(
-        s, scales=_figattack.QUICK_SCALES if quick else _figattack.SCALES
+    "figattack": lambda s, quick, machines: run_figattack(
+        s, scales=_figattack.QUICK_SCALES if quick else _figattack.SCALES,
+        machines=machines,
     ),
-    "tables": lambda s, quick: run_interactivity_table(s),
-    "ablations": lambda s, quick: run_all_ablations(s),
+    "tables": lambda s, quick, machines: run_interactivity_table(s),
+    "ablations": lambda s, quick, machines: run_all_ablations(s),
 }
 
 #: Figures that can render themselves as SVG (``--plot-dir``).
@@ -222,6 +226,16 @@ def main(argv=None) -> int:
              "(fig6, fig8, figscale, figattack)",
     )
     parser.add_argument(
+        "--machines",
+        nargs="+",
+        choices=sorted(MACHINES),
+        default=None,
+        metavar="NAME",
+        help="restrict figscale/figattack to these machines "
+             f"(registry: {', '.join(MACHINES)}; default: all); "
+             "note --check-golden pins the full grid",
+    )
+    parser.add_argument(
         "--check-golden",
         action="store_true",
         help="verify quick output against tests/golden/figures_quick.json "
@@ -273,7 +287,9 @@ def main(argv=None) -> int:
     for name in chosen:
         # Progress display only — never feeds a result or a cache key.
         start = time.time()  # repro: allow[determinism.banned-call]
-        data = EXPERIMENTS[name](settings, args.quick)
+        data = EXPERIMENTS[name](
+            settings, args.quick, tuple(args.machines) if args.machines else None
+        )
         print(f"[{name}: {time.time() - start:.1f}s]")  # repro: allow[determinism.banned-call]
         if args.plot_dir and name in PLOTTERS:
             plot_dir = Path(args.plot_dir)

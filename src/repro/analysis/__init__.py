@@ -3,7 +3,7 @@
 This package is the static counterpart to the dynamic gates (golden
 pins, equivalence suite, bench checks): it parses the tree once and
 verifies the invariants that make the reproduction trustworthy *before*
-anything executes.  Six rule families ship today:
+anything executes.  Seven rule families ship today:
 
 * ``determinism.*`` + ``hygiene.*`` — no wall clocks, no unseeded RNG,
   no set-iteration in replay paths (:mod:`repro.analysis.determinism`);
@@ -17,7 +17,10 @@ anything executes.  Six rule families ship today:
   that ``fork`` would silently fork (:mod:`repro.analysis.mp_safety`);
 * ``faults.*`` — every fault-injection consult names a registered
   site and every registered site is consulted somewhere
-  (:mod:`repro.analysis.faults`).
+  (:mod:`repro.analysis.faults`);
+* ``machines.*`` — the ``MACHINES`` registry, the golden figure grids,
+  the model-audit manifest and the docs tables agree on which machine
+  models exist, both directions (:mod:`repro.analysis.machines`).
 
 Run it via ``python tools/check_static.py`` (or the ``static`` phase of
 ``tools/run_tiers.py``); suppress individual findings with
@@ -27,7 +30,14 @@ the rule catalog and the authoring guide for new rules.
 
 from __future__ import annotations
 
-from repro.analysis import abi, cache_keys, determinism, faults, mp_safety  # noqa: F401
+from repro.analysis import (  # noqa: F401
+    abi,
+    cache_keys,
+    determinism,
+    faults,
+    machines,
+    mp_safety,
+)
 from repro.analysis.core import (  # noqa: F401
     AnalysisReport,
     Finding,

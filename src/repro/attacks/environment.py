@@ -6,9 +6,13 @@ model: ``"insecure"`` (the unprotected baseline — full sharing, no
 hardware checks), ``"sgx"`` (temporal sharing, no partitioning — the
 attacker can home data anywhere and co-run on the victim's cores;
 microarchitecturally indistinguishable from the baseline, which is the
-paper's point), ``"mi6"`` (static L2/DRAM halves, purge on crossings)
-or ``"ironhide"`` (spatial clusters).  The attack classes drive these
-contexts.
+paper's point), ``"mi6"`` (static L2/DRAM halves, purge on crossings),
+``"ironhide"`` (spatial clusters), or the temporal-partitioning pair
+``"fence_ts"`` / ``"simf"`` (unified sharing like sgx, but a purge
+policy flushes state on a schedule — the flush set and schedule come
+from the machine registry's :class:`~repro.machines.policy.PurgePolicy`
+so the attack model and the performance model can never disagree).
+The attack classes drive these contexts.
 """
 
 from __future__ import annotations
@@ -23,11 +27,14 @@ from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
 from repro.arch.noc import MeshNetwork
 from repro.config import SystemConfig
 from repro.errors import ConfigError
+from repro.machines import MACHINES, machine_policy
+from repro.machines.policy import PurgePolicy
 from repro.secure.isolation import SpatialClusterPolicy, StaticPartitionPolicy, UnifiedPolicy
 from repro.secure.purge import PurgeModel
 from repro.secure.spectre_guard import SpectreGuard
 
-ISOLATION_MODELS = ("insecure", "sgx", "mi6", "ironhide")
+#: Every registered machine is an attackable isolation model.
+ISOLATION_MODELS = tuple(MACHINES)
 
 
 @dataclass
@@ -44,21 +51,27 @@ class AttackEnvironment:
     network: MeshNetwork
     victim_network: Optional[frozenset]
     attacker_network: Optional[frozenset]
+    policy: PurgePolicy = PurgePolicy()
 
     @classmethod
     def build(
         cls, model: str, config: Optional[SystemConfig] = None, n_secure: int = 32
     ) -> "AttackEnvironment":
         if model not in ISOLATION_MODELS:
-            raise ConfigError(f"unknown isolation model {model!r}")
+            raise ConfigError(
+                f"unknown isolation model {model!r}; "
+                f"choose from {sorted(ISOLATION_MODELS)}"
+            )
         config = config or SystemConfig.evaluation()
         hier = MemoryHierarchy(config)
-        if model in ("insecure", "sgx"):
-            plan = UnifiedPolicy().plan(config, hier.mesh, hier.dram)
-        elif model == "mi6":
+        if model == "mi6":
             plan = StaticPartitionPolicy().plan(config, hier.mesh, hier.dram)
-        else:
+        elif model == "ironhide":
             plan = SpatialClusterPolicy(n_secure).plan(config, hier.mesh, hier.dram)
+        else:
+            # insecure, sgx, and the temporal machines share everything;
+            # any isolation the temporal pair has comes from its policy.
+            plan = UnifiedPolicy().plan(config, hier.mesh, hier.dram)
 
         victim = ProcessContext(
             "victim",
@@ -86,7 +99,7 @@ class AttackEnvironment:
             rep_core=attacker_rep,
         )
         guard = None
-        if model in ("mi6", "ironhide"):
+        if MACHINES[model].strong_isolation:
             guard = SpectreGuard(hier.dram, hier.address_space.frames_per_region)
         return cls(
             model=model,
@@ -99,11 +112,12 @@ class AttackEnvironment:
             network=MeshNetwork(hier.mesh, config.noc),
             victim_network=plan.secure_network,
             attacker_network=plan.insecure_network,
+            policy=machine_policy(model),
         )
 
     @property
     def strong_isolation(self) -> bool:
-        return self.model in ("mi6", "ironhide")
+        return MACHINES[self.model].strong_isolation
 
     def shared_slices(self) -> set:
         """Slices both parties may legitimately home data in."""

@@ -14,11 +14,12 @@ channel, NoC probe, Spectre).  Two go beyond the paper's evaluation:
 
 * ``purge_timing`` — a Shield-Bash-style channel *through the defense
   itself*: a malicious secure sender modulates its dirty-cache
-  footprint, and the receiver times the enclave-crossing purge that
-  MI6 issues.  The purge's memory-controller drain scales with the
-  dirty footprint, so MI6's own mechanism carries the bit; IRONHIDE
-  (no crossing purge) and the temporal-sharing models (no purge at
-  all) show a constant crossing cost and the channel collapses.
+  footprint, and the receiver times the crossing flush.  Any policy
+  that drains the controllers at crossings (MI6's software purge,
+  SIMF's bulk-flush instruction) carries the bit in the drain time;
+  IRONHIDE (no crossing purge), sgx/insecure (no purge at all) and
+  fence.t.s (core-local fence only) show a constant crossing cost and
+  the channel collapses.
 * ``noc_covert`` — generalizes the NoC probe into an intentional
   covert channel: the sender bursts packets at a shared destination
   and the receiver times one probe packet through the contended
@@ -158,7 +159,7 @@ def run_spectre(
         secret = int(rng.integers(1, attack._lines_per_page))
         result = attack.run(secret)
         leaks += 1 if result.leaked else 0
-        blocks += 1 if result.blocked_by_guard else 0
+        blocks += 1 if (result.blocked_by_guard or result.blocked_by_flush) else 0
     return {
         "trials": trials,
         "leak_rate": leaks / trials,
@@ -186,17 +187,26 @@ def _purge_sample(env: AttackEnvironment, bit: int) -> float:
         dtype=np.int64,
     )
     env.hier.run_trace(env.victim, addrs, np.ones(lines, dtype=np.int8))
-    if env.model == "mi6":
-        report = env.purge_model.purge(
+    pol = env.policy
+    if pol.schedule == "crossing" and pol.drain_controllers:
+        # The crossing flushes through the memory controllers (MI6's
+        # software purge, SIMF's bulk-flush instruction): the drain time
+        # is the observable, and it scales with the dirty footprint.
+        report = env.purge_model.flush(
             env.hier,
             cores=[env.victim.rep_core, env.attacker.rep_core],
             l2_slices=list(env.victim.slices) + list(env.attacker.slices),
             controllers=list(env.victim.controllers),
+            flush_private=pol.flush_private,
+            flush_l2_dirty=pol.flush_l2_dirty,
+            drain_controllers=pol.drain_controllers,
+            software_sequence=pol.software_sequence,
         )
         return float(report.mc_drain_cycles)
-    # No purge on crossings (IRONHIDE's isolation is spatial; the
-    # temporal-sharing models never purge): clean up so symbols stay
-    # independent, and observe the constant crossing cost.
+    # No controller drain at crossings (IRONHIDE's isolation is
+    # spatial; sgx/insecure never purge; fence.t.s flushes only
+    # core-local state on its periodic fence): clean up so symbols
+    # stay independent, and observe the constant crossing cost.
     env.hier.clean_l2(list(env.victim.slices))
     return 0.0
 

@@ -10,7 +10,10 @@ The MI6/IRONHIDE hardware check vets every access against the secure
 cluster's physical ranges: a speculative cross-domain access stalls
 until resolution and is then *discarded with no microarchitectural side
 effect*, so nothing reaches the probe array.  The SGX-like model has no
-such check and leaks.
+such check and leaks.  The temporal-partitioning machines have no
+access check either, but their purge policy flushes predictor state at
+every domain boundary, so the mistrained branch never survives into
+the victim's domain — the attack dies before the speculative load.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ class SpectreResult:
     secret: int
     recovered: Optional[int]
     blocked_by_guard: bool
+    blocked_by_flush: bool = False
 
     @property
     def leaked(self) -> bool:
@@ -77,6 +81,11 @@ class SpectreAttack:
         if blocked:
             # Discarded without side effects: nothing to probe.
             return SpectreResult(env.model, secret, None, True)
+        if env.policy.stateful and env.policy.flush_predictor:
+            # Temporal partitioning: the domain-boundary flush wipes the
+            # branch predictor, so the mistraining is discarded before
+            # the victim's speculative load can fire.
+            return SpectreResult(env.model, secret, None, False, blocked_by_flush=True)
 
         # Speculative load succeeded; transmit through the probe array.
         self._touch(env.attacker, self._PROBE_PAGE, secret)

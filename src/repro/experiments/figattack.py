@@ -13,9 +13,12 @@ models far more sharply than any single-point number.
 
 Two grid rows go beyond the paper's evaluation (see
 :mod:`repro.attacks.scenarios`): a Shield-Bash-style purge-*timing*
-channel that leaks through MI6's own defense mechanism, and a
+channel that leaks through MI6's own defense mechanism (and SIMF's —
+any policy that drains the controllers at crossings), and a
 NoC-contention covert channel that generalizes the network probe.
-IRONHIDE is the only model that closes both.
+IRONHIDE is the only model that closes both; the temporal machines
+sever spectre at their flush boundaries but leave the shared-cache and
+NoC channels open, exactly as the paper's taxonomy predicts.
 
 Each grid point is one ``attack`` :class:`~repro.experiments.sweep.WorkUnit`,
 so the whole figure shards over the chunked process pool and persists
@@ -28,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.attacks.environment import ISOLATION_MODELS
 from repro.attacks.scenarios import ATTACK_KINDS
 from repro.experiments.reporting import print_table
 from repro.experiments.runner import ExperimentSettings
@@ -40,8 +44,8 @@ SCALES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 #: The grid ``figattack --quick`` runs (golden-pinned on both engines).
 QUICK_SCALES = (1.0, 2.0, 4.0, 8.0)
 
-#: Isolation models attacked, weakest to strongest.
-MACHINES = ("insecure", "sgx", "mi6", "ironhide")
+#: Isolation models attacked: every registered machine, registry order.
+MACHINES = ISOLATION_MODELS
 
 #: Attack kinds on the grid, in presentation order.
 ATTACKS = ATTACK_KINDS
@@ -124,18 +128,21 @@ def run_figattack(
     verbose: bool = True,
     jobs: Optional[int] = None,
     chunk: Union[int, str, None] = None,
+    machines: Optional[Tuple[str, ...]] = None,
 ) -> FigAttackData:
     """Run the full attack grid and collect every scenario payload.
 
-    One work unit per (kind, machine, scale) point; the batch shards
-    over the (chunked) process pool and replays from a warm result
-    store without mounting a single attack.
+    One work unit per (kind, machine, scale) point — ``machines``
+    restricts the model axis (default: every registered machine); the
+    batch shards over the (chunked) process pool and replays from a
+    warm result store without mounting a single attack.
     """
     settings = settings or ExperimentSettings()
+    models = tuple(machines or MACHINES)
     units = {
         (kind, machine, scale): attack_unit(kind, machine, scale)
         for kind in ATTACKS
-        for machine in MACHINES
+        for machine in models
         for scale in scales
     }
     payloads = run_units(
@@ -145,7 +152,7 @@ def run_figattack(
     results: Dict[str, Dict[str, List[Dict]]] = {
         kind: {
             machine: [payloads[units[(kind, machine, scale)]] for scale in scales]
-            for machine in MACHINES
+            for machine in models
         }
         for kind in ATTACKS
     }
@@ -158,18 +165,19 @@ def run_figattack(
         print_table(
             "Attack channels at the longest observation "
             f"({data.scales[-1]:g}x budget; headline metric per kind)",
-            ["attack"] + [m.upper() for m in MACHINES],
+            ["attack"] + [m.upper() for m in models],
             [
                 [f"{kind} ({HEADLINE_METRIC[kind]})"]
-                + [data.metric_series(kind, m)[-1] for m in MACHINES]
+                + [data.metric_series(kind, m)[-1] for m in models]
                 for kind in ATTACKS
             ],
         )
-        print(
-            f"MI6 purge-timing BER {data.mi6_purge_channel_ber:.3f} at "
-            f"{data.scales[-1]:g}x (the purge itself leaks); IRONHIDE channel "
-            f"floor {data.ironhide_channel_floor:.3f} (chance-level everywhere)"
-        )
+        if "mi6" in models and "ironhide" in models:
+            print(
+                f"MI6 purge-timing BER {data.mi6_purge_channel_ber:.3f} at "
+                f"{data.scales[-1]:g}x (the purge itself leaks); IRONHIDE channel "
+                f"floor {data.ironhide_channel_floor:.3f} (chance-level everywhere)"
+            )
     return data
 
 
@@ -184,7 +192,7 @@ def plot_figattack(data: FigAttackData, out_path) -> None:
         svg_document,
     )
 
-    order = list(MACHINES)
+    order = list(data.results[_BER_PANELS[0][0]])
     colors = series_colors(order)
     labels = [f"{s:g}x" for s in data.scales]
     width = 760

@@ -13,10 +13,11 @@ vs work-per-epoch).
 This driver sweeps :attr:`~repro.workloads.base.AppSpec.trace_scale`
 — the knob multiplying every process's per-interaction access count at
 bundle-materialization time — over ~1–32x on the Fig. 6 application
-mix for all four machines, and reports completion time normalized to
-the insecure baseline *at the same scale*.  The visible result:
-MI6's normalized overhead falls toward the purge-free machines as
-interactions lengthen, while IRONHIDE stays flat.
+mix for every registered machine, and reports completion time
+normalized to the insecure baseline *at the same scale*.  The visible
+result: the per-crossing flush machines (MI6, SIMF) amortize toward
+the purge-free machines as interactions lengthen, fence.t.s's periodic
+fence sits near SGX, and IRONHIDE stays flat.
 
 Each (scale, app, machine) point is one ``scaled_pair``
 :class:`~repro.experiments.sweep.WorkUnit`, so the whole figure shards
@@ -36,6 +37,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.experiments.reporting import geomean, print_table
 from repro.experiments.runner import ExperimentSettings
 from repro.experiments.sweep import run_units, scaled_pair_unit
+from repro.machines import MACHINES as MACHINE_REGISTRY
 from repro.workloads import APPS, OS_APPS, USER_APPS
 
 #: The full trace-length grid (multiples of each app's default
@@ -45,8 +47,9 @@ SCALES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 #: The grid ``figscale --quick`` runs (golden-pinned on both engines).
 QUICK_SCALES = (1.0, 2.0, 4.0, 8.0)
 
-#: Machines normalized against the insecure baseline.
-MACHINES = ("sgx", "mi6", "ironhide")
+#: Machines normalized against the insecure baseline: every registered
+#: machine except the baseline itself, in registry order.
+MACHINES = tuple(m for m in MACHINE_REGISTRY if m != "insecure")
 
 #: The sweep divides the settings' interaction counts by this factor:
 #: the figure's axis is accesses *per* interaction, so fewer (longer)
@@ -120,27 +123,31 @@ def run_figscale(
     verbose: bool = True,
     jobs: Optional[int] = None,
     chunk: Union[int, str, None] = None,
+    machines: Optional[Tuple[str, ...]] = None,
 ) -> FigScaleData:
     """Sweep ``trace_scale`` over ``scales`` for the whole app mix.
 
     Returns normalized (to insecure, per scale) geomean completion for
-    every machine at user / OS / all level.  The entire sweep is one
+    every machine at user / OS / all level.  ``machines`` restricts the
+    curve set (default: every registered machine); the insecure
+    baseline is always run as the denominator.  The entire sweep is one
     batch of work units, so it shards over the (chunked) process pool
     and replays from a warm result store without a machine run.
     """
     settings = figscale_settings(settings or ExperimentSettings())
+    curves = tuple(m for m in (machines or MACHINES) if m != "insecure")
     units = {
         (scale, app.name, machine): scaled_pair_unit(app.name, machine, scale)
         for scale in scales
         for app in APPS
-        for machine in ("insecure",) + MACHINES
+        for machine in ("insecure",) + curves
     }
     payloads = run_units(
         units.values(), settings, jobs=jobs, chunk=chunk, copy_results=False
     )
 
     normalized: Dict[str, Dict[str, List[float]]] = {
-        level: {m: [] for m in MACHINES}
+        level: {m: [] for m in curves}
         for level in ("user", "os", "all")
     }
     for scale in scales:
@@ -150,10 +157,10 @@ def run_figscale(
                 / payloads[units[(scale, app.name, "insecure")]].completion_cycles
             )
             for app in APPS
-            for m in MACHINES
+            for m in curves
         }
         for level, apps in (("user", USER_APPS), ("os", OS_APPS), ("all", APPS)):
-            for m in MACHINES:
+            for m in curves:
                 normalized[level][m].append(
                     geomean([ratios[(app.name, m)] for app in apps])
                 )
@@ -168,17 +175,18 @@ def run_figscale(
         print_table(
             "Overhead vs interaction length (completion normalized to "
             "insecure at the same trace scale; all apps)",
-            ["trace scale"] + [m.upper() for m in MACHINES],
+            ["trace scale"] + [m.upper() for m in curves],
             [
-                [f"{scale:g}x"] + [normalized["all"][m][i] for m in MACHINES]
+                [f"{scale:g}x"] + [normalized["all"][m][i] for m in curves]
                 for i, scale in enumerate(data.scales)
             ],
         )
-        print(
-            f"MI6 amortization {data.mi6_amortization:.2f}x from 1x to "
-            f"{data.scales[-1]:g}x traces (per-crossing purges amortize); "
-            f"IRONHIDE drift {data.ironhide_drift:.2f}x (no per-crossing term)"
-        )
+        if "mi6" in curves and "ironhide" in curves:
+            print(
+                f"MI6 amortization {data.mi6_amortization:.2f}x from 1x to "
+                f"{data.scales[-1]:g}x traces (per-crossing purges amortize); "
+                f"IRONHIDE drift {data.ironhide_drift:.2f}x (no per-crossing term)"
+            )
     return data
 
 
@@ -186,12 +194,13 @@ def plot_figscale(data: FigScaleData, out_path) -> None:
     """Render the all-apps normalized-overhead lines as SVG."""
     from repro.experiments.plotting import render_lines
 
+    curves = list(data.normalized["all"])
     render_lines(
         out_path,
         "Security overhead vs interaction length (all apps)",
         "completion / insecure",
         [f"{s:g}x" for s in data.scales],
-        {m: list(data.normalized["all"][m]) for m in MACHINES},
+        {m: list(data.normalized["all"][m]) for m in curves},
         xlabel="trace scale (accesses per interaction, vs default)",
-        series_order=list(MACHINES),
+        series_order=curves,
     )

@@ -50,6 +50,7 @@ from repro import faults as faults_mod
 from repro.errors import InjectedFault, SweepExecutionError
 from repro.experiments import runner as _runner
 from repro.experiments.store import ResultStore, get_store
+from repro.machines import MACHINES, machine_policy
 from repro.workloads import get_app
 
 #: ``"auto"`` chunking targets this many chunks per pool worker: big
@@ -134,7 +135,10 @@ def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
     The machine description enters through
     :meth:`SystemConfig.config_hash` (so does the replay engine — the
     engines are bit-identical, but keeping them keyed apart means a
-    warm cache can never mask an equivalence regression).
+    warm cache can never mask an equivalence regression).  The
+    machine's purge-policy signature is keyed explicitly: changing a
+    registered machine's flush schedule or flush set must fork the
+    store rather than replay stale results.
     """
     if unit.app:
         app = get_app(unit.app)
@@ -143,6 +147,7 @@ def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
     else:
         counts = (settings.n_user, settings.n_os)
         trace_scale = 1.0
+    policy_sig = machine_policy(unit.machine).signature() if unit.machine in MACHINES else ""
     return (
         unit.kind,
         unit.app,
@@ -153,6 +158,7 @@ def unit_cache_key(unit: WorkUnit, settings) -> Tuple:
         counts,
         trace_scale,
         settings.seed,
+        policy_sig,
     )
 
 

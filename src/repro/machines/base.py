@@ -5,8 +5,10 @@ prototype does: a warm-up phase, then a measured sequence of ping-pong
 interactions — the insecure producer computes and posts a message to the
 shared IPC buffer, the secure consumer picks it up, computes, and posts
 its reply.  Machines differ only in their :meth:`Machine._setup` (how
-hardware is divided, what one-time costs apply) and in the
-entry/exit hooks (what each secure-boundary crossing costs).
+hardware is divided, what one-time costs apply), in the entry/exit
+hooks (what each secure-boundary crossing costs), and in their
+:class:`~repro.machines.policy.PurgePolicy` (whether, when and what
+microarchitectural state gets flushed at interaction boundaries).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import numpy as np
 from repro.arch.address import VirtualMemory
 from repro.arch.hierarchy import MemoryHierarchy, ProcessContext, TraceResult
 from repro.config import SystemConfig
+from repro.machines.policy import NEVER, PurgePolicy
 from repro.secure.enclave import EnclaveManager
 from repro.secure.ipc import SharedIpcBuffer
 from repro.secure.kernel import SecureKernel
@@ -59,11 +62,13 @@ class Machine(abc.ABC):
 
     name: str = "abstract"
     strong_isolation: bool = False
-    #: True when the secure entry/exit hooks mutate microarchitectural
-    #: state (MI6's per-crossing purges).  Such hooks are barriers for
-    #: the batched replay pipeline: the replay splits into per-crossing
-    #: epochs so the purge sees — and wipes — the live cache state.
-    crossing_state_hazard: bool = False
+    #: When and what this machine flushes at interaction boundaries.
+    #: Stateful policies (MI6's per-crossing purge, the temporal fence
+    #: machines) are barriers for the batched replay pipeline: the
+    #: replay splits into per-boundary epochs so each flush sees — and
+    #: wipes — the live cache state.  Instances may override the class
+    #: default (e.g. a non-default fence interval).
+    purge_policy: PurgePolicy = NEVER
 
     def __init__(self, config: Optional[SystemConfig] = None, post_setup_warmup: int = 2):
         self.config = config or SystemConfig.tile_gx72()
@@ -89,6 +94,36 @@ class Machine(abc.ABC):
 
     def _secure_exit(self, app: AppSpec, st: Setup) -> CrossingCost:
         return CrossingCost()
+
+    def _flush_targets(self, st: Setup) -> Tuple[List[int], List[int], List[int]]:
+        """``(cores, l2_slices, controllers)`` a policy flush acts on.
+
+        By default the two representative cores plus the secure side's
+        L2 slices and controllers; machines with bespoke partition plans
+        (MI6) override this to match their flush domain.
+        """
+        return (
+            [st.ctx_secure.rep_core, st.ctx_insecure.rep_core],
+            list(st.ctx_secure.slices),
+            list(st.ctx_secure.controllers),
+        )
+
+    def _policy_flush(self, app: AppSpec, st: Setup) -> float:
+        """Execute one policy-scheduled flush; returns its cycle cost."""
+        pol = self.purge_policy
+        cores, slices, mcs = self._flush_targets(st)
+        report = self.purge_model.flush(
+            self.hier,
+            cores,
+            slices,
+            mcs,
+            dirty_scale=app.footprint_scale,
+            flush_private=pol.flush_private,
+            flush_l2_dirty=pol.flush_l2_dirty,
+            drain_controllers=pol.drain_controllers,
+            software_sequence=pol.software_sequence,
+        )
+        return float(report.total_cycles)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -132,6 +167,7 @@ class Machine(abc.ABC):
                     app, st, sec_proc, ins_proc,
                     b_sec.segment(k), b_ins.segment(k),
                     i >= 0, bd, sec_stats, ins_stats,
+                    index=k,
                 )
         # One-time costs (attestation, the single reconfiguration event)
         # amortize over the application's full-scale run; the measured
@@ -178,8 +214,16 @@ class Machine(abc.ABC):
         bd: Breakdown,
         sec_stats: ProcessStats,
         ins_stats: ProcessStats,
+        index: int = 0,
     ) -> None:
         ts = app.time_scale
+        pol = self.purge_policy
+
+        # Periodic fence (interval schedules): flush before the
+        # producer touches the caches.
+        fence = 0.0
+        if pol.flushes(index, "begin"):
+            fence = self._policy_flush(app, st)
 
         # Insecure producer computes and posts the input message.
         res_ins = self.hier.run_trace(st.ctx_insecure, tr_ins.addrs, tr_ins.writes)
@@ -187,6 +231,8 @@ class Machine(abc.ABC):
         ipc_cycles = st.ipc.send(st.ctx_insecure, app.ipc_bytes)
 
         entry = self._secure_entry(app, st)
+        if pol.flushes(index, "entry"):
+            entry.purge += self._policy_flush(app, st)
 
         # Secure consumer picks the message up, computes, posts the reply.
         ipc_cycles += st.ipc.recv(st.ctx_secure, app.ipc_bytes)
@@ -195,6 +241,8 @@ class Machine(abc.ABC):
         ipc_cycles += st.ipc.send(st.ctx_secure, app.ipc_reply_bytes)
 
         exit_ = self._secure_exit(app, st)
+        if pol.flushes(index, "exit"):
+            exit_.purge += self._policy_flush(app, st)
 
         ipc_cycles += st.ipc.recv(st.ctx_insecure, app.ipc_reply_bytes)
 
@@ -202,7 +250,7 @@ class Machine(abc.ABC):
             bd.compute += (t_ins + t_sec) * ts
             bd.ipc += ipc_cycles
             bd.crossing += entry.crossing + exit_.crossing
-            bd.purge += entry.purge + exit_.purge
+            bd.purge += fence + entry.purge + exit_.purge
             self._accumulate(ins_stats, res_ins, t_ins * ts)
             self._accumulate(sec_stats, res_sec, t_sec * ts)
 
@@ -226,11 +274,12 @@ class Machine(abc.ABC):
         interaction contributes six segments (producer trace, IPC send,
         IPC recv, consumer trace, IPC reply send, IPC reply recv) — and
         replays it through :class:`~repro.arch.batch_replay.
-        BatchReplayer`.  Machines whose crossing hooks purge state
-        (``crossing_state_hazard``) replay per-crossing epochs with the
-        hooks in between, exactly where the per-interaction loop fires
-        them; for the others one epoch covers the entire run and the
-        (state-neutral) hooks are charged in the accounting pass.
+        BatchReplayer`.  Machines with a stateful purge policy (MI6's
+        per-crossing purge, the temporal fence machines) replay
+        per-boundary epochs with the flushes in between, exactly where
+        the per-interaction loop fires them; for the others one epoch
+        covers the entire run and the (state-neutral) crossing hooks
+        are charged in the accounting pass.
         """
         from repro.arch.batch_replay import BatchReplayer, Segment
 
@@ -258,29 +307,53 @@ class Machine(abc.ABC):
             ops.append((tr_ins, tr_sec, send_ins, recv_sec, send_sec, recv_ins))
 
         replayer = BatchReplayer(self.hier, segments)
+        pol = self.purge_policy
         entries: Optional[List[CrossingCost]] = None
         exits: Optional[List[CrossingCost]] = None
-        if self.crossing_state_hazard:
-            # Purging crossings: replay pauses at each boundary so the
-            # hooks act on (and wipe) the live microarchitectural state.
-            # Each epoch covers exactly the segments between two purge
-            # barriers, so interaction k's trailing reply-recv segment
+        fences: Optional[List[float]] = None
+        if pol.stateful:
+            # Stateful flushes: replay pauses at each flushing boundary
+            # so the flush acts on (and wipes) the live microarchitec-
+            # tural state.  Each epoch covers exactly the segments
+            # between two flush barriers — for MI6's every-crossing
+            # schedule interaction k's trailing reply-recv segment
             # merges with interaction k+1's producer trace and IPC send
-            # — one planned epoch per crossing (2 per interaction, not
-            # 3), bit-identical because epoch splits never change
-            # per-segment results.
+            # (one planned epoch per crossing: 2 per interaction, not
+            # 3), for a fence interval of N whole interactions merge
+            # into one epoch — bit-identical either way because epoch
+            # splits never change per-segment results.
             results: List[TraceResult] = []
             entries = []
             exits = []
-            if count:
-                results.extend(replayer.run_epoch(0, 2))
+            fences = []
+            cursor = 0
+
+            def advance(to: int) -> None:
+                nonlocal cursor
+                if to > cursor:
+                    results.extend(replayer.run_epoch(cursor, to))
+                    cursor = to
+
             for k in range(count):
                 base = 6 * k
-                entries.append(self._secure_entry(app, st))
-                results.extend(replayer.run_epoch(base + 2, base + 5))
-                exits.append(self._secure_exit(app, st))
-                end = base + 8 if k + 1 < count else base + 6
-                results.extend(replayer.run_epoch(base + 5, end))
+                fence = 0.0
+                if pol.flushes(k, "begin"):
+                    advance(base)
+                    fence = self._policy_flush(app, st)
+                fences.append(fence)
+                if pol.flushes(k, "entry"):
+                    advance(base + 2)
+                entry = self._secure_entry(app, st)
+                if pol.flushes(k, "entry"):
+                    entry.purge += self._policy_flush(app, st)
+                entries.append(entry)
+                if pol.flushes(k, "exit"):
+                    advance(base + 5)
+                exit_ = self._secure_exit(app, st)
+                if pol.flushes(k, "exit"):
+                    exit_.purge += self._policy_flush(app, st)
+                exits.append(exit_)
+            advance(len(segments))
         else:
             results = replayer.run_epoch(0, len(segments))
 
@@ -301,10 +374,11 @@ class Machine(abc.ABC):
             exit_ = exits[k] if exits is not None else self._secure_exit(app, st)
             ipc_cycles += ipc.finish(recv_ins, results[base + 5].mem_cycles)
             if i >= 0:
+                fence = fences[k] if fences is not None else 0.0
                 bd.compute += (t_ins + t_sec) * ts
                 bd.ipc += ipc_cycles
                 bd.crossing += entry.crossing + exit_.crossing
-                bd.purge += entry.purge + exit_.purge
+                bd.purge += fence + entry.purge + exit_.purge
                 self._accumulate(ins_stats, res_ins, t_ins * ts)
                 self._accumulate(sec_stats, res_sec, t_sec * ts)
 

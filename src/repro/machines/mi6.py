@@ -17,7 +17,10 @@ applications and the far cheaper purges of tiny OS interactions.
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 from repro.machines.base import CrossingCost, Machine, Setup
+from repro.machines.policy import MI6_PURGE
 from repro.secure.ipc import SharedIpcBuffer
 from repro.secure.isolation import StaticPartitionPolicy
 from repro.sim.stats import Breakdown
@@ -27,9 +30,9 @@ from repro.workloads.base import AppSpec, WorkloadProcess
 class Mi6Machine(Machine):
     name = "mi6"
     strong_isolation = True
-    # Every crossing purges live microarchitectural state, so the
-    # batched replay pipeline must split into per-crossing epochs.
-    crossing_state_hazard = True
+    # Full software purge at every crossing: the policy is stateful, so
+    # the batched replay pipeline splits into per-crossing epochs.
+    purge_policy = MI6_PURGE
 
     def _setup(self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng) -> Setup:
         plan = StaticPartitionPolicy().plan(self.config, self.mesh, self.hier.dram)
@@ -56,26 +59,18 @@ class Mi6Machine(Machine):
             insecure_cores=len(plan.insecure_cores),
         )
 
-    def _purge(self, app: AppSpec, st: Setup) -> float:
-        """Purge everything time-shared; returns the cycle cost."""
+    def _flush_targets(self, st: Setup) -> Tuple[List[int], List[int], List[int]]:
+        """Purge everything time-shared: both representative cores, both
+        halves of the statically-split L2, the secure controllers."""
         plan = self._plan
-        report = self.purge_model.purge(
-            self.hier,
-            cores=[st.ctx_secure.rep_core, st.ctx_insecure.rep_core],
-            l2_slices=plan.secure_slices + plan.insecure_slices,
-            controllers=plan.secure_mcs,
-            dirty_scale=app.footprint_scale,
+        return (
+            [st.ctx_secure.rep_core, st.ctx_insecure.rep_core],
+            plan.secure_slices + plan.insecure_slices,
+            plan.secure_mcs,
         )
-        return float(report.total_cycles)
 
     def _secure_entry(self, app: AppSpec, st: Setup) -> CrossingCost:
-        return CrossingCost(
-            crossing=self.enclaves.enter(st.ctx_secure.name),
-            purge=self._purge(app, st),
-        )
+        return CrossingCost(crossing=self.enclaves.enter(st.ctx_secure.name))
 
     def _secure_exit(self, app: AppSpec, st: Setup) -> CrossingCost:
-        return CrossingCost(
-            crossing=self.enclaves.exit(st.ctx_secure.name),
-            purge=self._purge(app, st),
-        )
+        return CrossingCost(crossing=self.enclaves.exit(st.ctx_secure.name))

@@ -1,0 +1,219 @@
+"""Purge policies: when and what a machine flushes at boundaries.
+
+Historically the machine layer carried one bit of purge semantics —
+``crossing_state_hazard`` — which conflated three separate questions:
+
+* **Schedule** — *when* does microarchitectural state get flushed?
+  Never (insecure, SGX, IRONHIDE inside a stable configuration), at
+  every secure-boundary crossing (MI6, SIMF), or on a periodic fence
+  every N interactions (fence.t.s-style temporal partitioning).
+* **Flush set** — *what* is wiped?  Core-local state (private L1s,
+  TLBs, branch predictor), the dirty shared-L2 footprint, the memory
+  controller queues.
+* **Mechanism** — the software flush sequence the paper models for MI6
+  (dummy-buffer read, Tilera TLB commands) or an ISA-supported
+  single-instruction bulk flush whose fixed cost collapses into the
+  pipeline drain (SIMF's ``simf`` instruction, fence.t.s's ``fence.t``).
+
+:class:`PurgePolicy` answers all three.  The machines declare one as a
+class attribute; :class:`~repro.machines.base.Machine` consults it in
+both replay engines — the scalar per-interaction loop executes the
+flush at the matching boundary, and the batched pipeline places an
+epoch barrier at every flushing boundary so the flush acts on (and
+wipes) live cache state.  The policy's :meth:`PurgePolicy.signature`
+rides in the sweep store key, so changing a machine's default policy
+can never serve stale cached results.
+
+The named policies at the bottom are the points of the policy space the
+registered machines occupy; MI6's is exactly the pre-policy behaviour
+(per-crossing software purge of everything), bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Valid ``PurgePolicy.schedule`` values.
+SCHEDULES = ("never", "crossing", "interval")
+
+#: Boundary points within one interaction, in execution order:
+#: ``begin`` precedes the producer's trace, ``entry`` sits at the
+#: secure-domain entry (after the producer's IPC send), ``exit`` at the
+#: secure-domain exit (after the consumer's IPC reply send).
+BOUNDARY_POINTS = ("begin", "entry", "exit")
+
+
+@dataclass(frozen=True)
+class PurgePolicy:
+    """One machine's flush schedule, flush set and flush mechanism.
+
+    ``interval`` means "flush every N-th opportunity": for the
+    ``crossing`` schedule the opportunities are the entry/exit
+    crossings themselves (MI6 and SIMF use 1 — every crossing), for the
+    ``interval`` schedule they are interaction starts (the fence.t.s
+    fence period).  ``flush_predictor`` has no cycle cost in the
+    performance model (predictor state carries no replay timing) but
+    drives the attack model: a policy that flushes predictor state at
+    domain boundaries discards cross-domain branch mistraining.
+    ``software_sequence`` selects the MI6-style software purge costs
+    (dummy-buffer read, TLB flush commands) over an ISA-supported flush
+    whose fixed cost is just the pipeline drain.
+    """
+
+    schedule: str = "never"
+    interval: int = 1
+    flush_private: bool = False
+    flush_predictor: bool = False
+    flush_l2_dirty: bool = False
+    drain_controllers: bool = False
+    software_sequence: bool = True
+
+    def __post_init__(self):
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown purge schedule {self.schedule!r}; "
+                f"choose from {SCHEDULES}"
+            )
+        if not (isinstance(self.interval, int) and self.interval >= 1):
+            raise ValueError(f"interval must be an int >= 1, got {self.interval!r}")
+        if self.drain_controllers and not self.flush_l2_dirty:
+            raise ValueError("drain_controllers requires flush_l2_dirty")
+        if self.schedule == "never" and (
+            self.flush_private
+            or self.flush_predictor
+            or self.flush_l2_dirty
+            or self.drain_controllers
+        ):
+            raise ValueError("a 'never' schedule cannot carry flush flags")
+
+    # ------------------------------------------------------------------
+    # Constructors for the named points of the policy space
+    # ------------------------------------------------------------------
+    @classmethod
+    def never(cls) -> "PurgePolicy":
+        """No flushing at any boundary (insecure, SGX, IRONHIDE)."""
+        return cls()
+
+    @classmethod
+    def every_crossing(
+        cls,
+        interval: int = 1,
+        flush_private: bool = True,
+        flush_predictor: bool = True,
+        flush_l2_dirty: bool = True,
+        drain_controllers: bool = True,
+        software_sequence: bool = True,
+    ) -> "PurgePolicy":
+        """Flush at every ``interval``-th secure entry/exit crossing."""
+        return cls(
+            schedule="crossing",
+            interval=interval,
+            flush_private=flush_private,
+            flush_predictor=flush_predictor,
+            flush_l2_dirty=flush_l2_dirty,
+            drain_controllers=drain_controllers,
+            software_sequence=software_sequence,
+        )
+
+    @classmethod
+    def every_interval(
+        cls,
+        interval: int,
+        flush_private: bool = True,
+        flush_predictor: bool = True,
+        flush_l2_dirty: bool = False,
+        drain_controllers: bool = False,
+        software_sequence: bool = False,
+    ) -> "PurgePolicy":
+        """Periodic fence at the start of every ``interval``-th interaction."""
+        return cls(
+            schedule="interval",
+            interval=interval,
+            flush_private=flush_private,
+            flush_predictor=flush_predictor,
+            flush_l2_dirty=flush_l2_dirty,
+            drain_controllers=drain_controllers,
+            software_sequence=software_sequence,
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def stateful(self) -> bool:
+        """True when a flush can mutate simulated cache/TLB state.
+
+        Stateful policies are epoch barriers for the batched replay
+        pipeline; stateless ones replay a whole run as one epoch.
+        """
+        return self.schedule != "never" and (
+            self.flush_private or self.flush_l2_dirty
+        )
+
+    def flushes(self, index: int, point: str) -> bool:
+        """Does interaction ``index`` (0-based) flush at ``point``?
+
+        Warm-up interactions count toward the schedule exactly like
+        measured ones — both replay engines walk the same index range,
+        so the flush placement (and therefore the cache state) cannot
+        depend on the engine.
+        """
+        if point not in BOUNDARY_POINTS:
+            raise ValueError(
+                f"unknown boundary point {point!r}; choose from {BOUNDARY_POINTS}"
+            )
+        if self.schedule == "crossing":
+            if point == "entry":
+                return (2 * index) % self.interval == 0
+            if point == "exit":
+                return (2 * index + 1) % self.interval == 0
+            return False
+        if self.schedule == "interval":
+            return point == "begin" and index % self.interval == 0
+        return False
+
+    def flush_points(self, count: int) -> Iterator[Tuple[int, str]]:
+        """Every flushing ``(index, point)`` over ``count`` interactions,
+        in execution order."""
+        for index in range(count):
+            for point in BOUNDARY_POINTS:
+                if self.flushes(index, point):
+                    yield (index, point)
+
+    def signature(self) -> str:
+        """Stable, human-readable store-key component.
+
+        Folds every result-affecting policy knob into a short string so
+        the sweep scheduler's unit keys (and therefore the persistent
+        result store) fork whenever a machine's policy changes.
+        """
+        flags = "".join(
+            token
+            for token, on in (
+                ("P", self.flush_private),
+                ("B", self.flush_predictor),
+                ("2", self.flush_l2_dirty),
+                ("M", self.drain_controllers),
+            )
+            if on
+        )
+        mechanism = "sw" if self.software_sequence else "hw"
+        return f"{self.schedule}/{self.interval}/{flags or '-'}/{mechanism}"
+
+
+#: Default fence period (interactions per fence) of the fence.t.s
+#: machine; override per run with ``build_machine(..., fence_interval=N)``.
+DEFAULT_FENCE_INTERVAL = 4
+
+#: The policy points the registered machines occupy.
+NEVER = PurgePolicy.never()
+#: MI6: full software purge (dummy read + TLB + fence + MC drain) at
+#: every crossing — exactly the pre-policy hard-coded behaviour.
+MI6_PURGE = PurgePolicy.every_crossing()
+#: SIMF: the same per-crossing flush set, issued as one ISA instruction
+#: — the O(occupancy) drains remain, the fixed software costs vanish.
+SIMF_FLUSH = PurgePolicy.every_crossing(software_sequence=False)
+#: fence.t.s: periodic ISA fence wiping core-local state only; the
+#: shared L2 and the controllers are untouched.
+FENCE_TS = PurgePolicy.every_interval(DEFAULT_FENCE_INTERVAL)

@@ -1,0 +1,101 @@
+"""Temporal-partitioning machines: fence.t.s and SIMF.
+
+IRONHIDE's headline comparison is against designs that share hardware
+in time and flush microarchitectural state to sever the resulting
+channels.  Two literature-backed variants of that idea slot straight
+into the purge-policy space:
+
+* **fence.t.s** (ISA-supported temporal partitioning, arxiv
+  2409.07576): a periodic fence instruction wipes *core-local* state —
+  private L1s, TLBs, the branch predictor — every N interactions.  The
+  shared L2 and the memory controllers are untouched, so the fence
+  costs only a pipeline drain plus the dirty-private writeback, and
+  cache-occupancy channels through the shared L2 stay open.
+* **SIMF** (single-instruction multiple-flush, arxiv 2011.10249): one
+  ISA instruction performs MI6's whole flush set — core-local state
+  plus the dirty shared-L2 footprint drained through the controllers —
+  at every enclave crossing.  The O(occupancy) drain costs remain, but
+  the fixed costs of MI6's *software* purge sequence (the dummy-buffer
+  read, the TLB flush commands) collapse into the pipeline drain.
+
+Both run on the insecure machine's unified hardware plan (no static
+partitioning, no NoC containment): all isolation comes from the flush
+schedule.  That is exactly the taxonomy the paper predicts — temporal
+flushing severs core-local channels at fence boundaries but leaves the
+NoC and shared-cache occupancy channels open (see
+``docs/experiments.md``'s attack-channel table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.machines.base import Machine, Setup
+from repro.machines.policy import FENCE_TS, SIMF_FLUSH, PurgePolicy
+from repro.secure.ipc import SharedIpcBuffer
+from repro.secure.isolation import UnifiedPolicy
+from repro.sim.stats import Breakdown
+from repro.workloads.base import AppSpec, WorkloadProcess
+
+
+class TemporalMachine(Machine):
+    """Shared base: unified hardware plan, flush-schedule isolation.
+
+    ``fence_interval`` overrides the class policy's flush period (the
+    fence period for fence.t.s, the crossing stride for SIMF);
+    ``policy`` replaces the machine's policy wholesale, which is how
+    the policy unit tests explore off-registry points of the space.
+    """
+
+    strong_isolation = False
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        post_setup_warmup: int = 2,
+        fence_interval: Optional[int] = None,
+        policy: Optional[PurgePolicy] = None,
+    ):
+        super().__init__(config=config, post_setup_warmup=post_setup_warmup)
+        if policy is not None:
+            self.purge_policy = policy
+        if fence_interval is not None:
+            self.purge_policy = replace(
+                self.purge_policy, interval=int(fence_interval)
+            )
+
+    def _setup(self, app: AppSpec, sec: WorkloadProcess, ins: WorkloadProcess, rng) -> Setup:
+        plan = UnifiedPolicy().plan(self.config, self.mesh, self.hier.dram)
+        ctx_sec = self._make_context(
+            sec.name, "secure", plan.secure_cores, plan.secure_slices,
+            plan.secure_mcs, plan.secure_regions, plan.homing, rep_core=0,
+            replication=True, numa_mc=True,
+        )
+        ctx_ins = self._make_context(
+            ins.name, "insecure", plan.insecure_cores, plan.insecure_slices,
+            plan.insecure_mcs, plan.insecure_regions, plan.homing, rep_core=1,
+            replication=True, numa_mc=True,
+        )
+        bd = Breakdown()
+        self._attest(sec, bd)
+        ipc = SharedIpcBuffer(self.hier, ctx_ins, plan.shared_region)
+        return Setup(
+            ctx_secure=ctx_sec,
+            ctx_insecure=ctx_ins,
+            ipc=ipc,
+            breakdown=bd,
+            secure_cores=len(plan.secure_cores),
+            insecure_cores=len(plan.insecure_cores),
+        )
+
+
+class FenceTsMachine(TemporalMachine):
+    name = "fence_ts"
+    purge_policy = FENCE_TS
+
+
+class SimfMachine(TemporalMachine):
+    name = "simf"
+    purge_policy = SIMF_FLUSH

@@ -77,30 +77,68 @@ class PurgeModel:
         data homed in ``l2_slices`` and drain the given controllers'
         queues.  Returns the cycle cost; the caches are left cold/clean,
         so subsequent trace replay sees the thrashing the paper reports.
+
+        This is the full MI6 software sequence — :meth:`flush` with
+        every component enabled.
+        """
+        return self.flush(hier, cores, l2_slices, controllers, dirty_scale)
+
+    def flush(
+        self,
+        hier: MemoryHierarchy,
+        cores: Sequence[int],
+        l2_slices: Sequence[int] = (),
+        controllers: Sequence[int] = (),
+        dirty_scale: float = 1.0,
+        *,
+        flush_private: bool = True,
+        flush_l2_dirty: bool = True,
+        drain_controllers: bool = True,
+        software_sequence: bool = True,
+    ) -> PurgeReport:
+        """Flush a configurable subset of the MI6 purge sequence.
+
+        The component flags correspond to a
+        :class:`~repro.machines.policy.PurgePolicy`'s flush set (passed
+        as plain keywords so this module stays import-free of the
+        machine layer): ``flush_private`` invalidates the given cores'
+        L1s/TLBs and drains their dirty lines; ``flush_l2_dirty`` writes
+        back dirty data homed in ``l2_slices``; ``drain_controllers``
+        pushes that data through the controllers to DRAM.  With
+        ``software_sequence`` the fixed costs of the software purge
+        (dummy-buffer read, TLB flush commands) are charged; without it
+        the flush is a single ISA instruction whose fixed cost is just
+        the pipeline drain, while the O(occupancy) drain costs remain.
         """
         cfg = self.config
         report = PurgeReport()
         report.pipeline_flush_cycles = cfg.costs.pipeline_flush_cycles
 
-        private = hier.purge_private(cores)
-        # Dummy-buffer read: every line reloaded, cores in parallel.
-        report.dummy_read_cycles = cfg.costs.dummy_buffer_lines * self._dummy_line_latency
-        report.tlb_flush_cycles = cfg.costs.tlb_flush_cycles
-        # Fence: dirty private lines propagate to their home slices; the
-        # slowest core bounds the parallel drain.
-        report.l1_drain_cycles = private["max_dirty"] * cfg.mem.writeback_drain_latency
+        if flush_private:
+            private = hier.purge_private(cores)
+            if software_sequence:
+                # Dummy-buffer read: every line reloaded, cores in parallel.
+                report.dummy_read_cycles = (
+                    cfg.costs.dummy_buffer_lines * self._dummy_line_latency
+                )
+                report.tlb_flush_cycles = cfg.costs.tlb_flush_cycles
+            # Fence: dirty private lines propagate to their home slices;
+            # the slowest core bounds the parallel drain.
+            report.l1_drain_cycles = private["max_dirty"] * cfg.mem.writeback_drain_latency
 
-        # Controller purge: modified data (dirty L2 lines plus queued
-        # entries) is written to DRAM; controllers drain in parallel.
-        dirty_l2 = hier.clean_l2(l2_slices)
-        scaled = int(dirty_l2 * dirty_scale)
-        report.dirty_lines_drained = scaled
-        n_mcs = max(1, len(controllers))
-        per_mc = -(-scaled // n_mcs)
-        mc_cycles = 0
-        for mc in controllers:
-            mc_cycles = max(mc_cycles, hier.controllers[mc].purge(per_mc))
-        report.mc_drain_cycles = mc_cycles
+        if flush_l2_dirty:
+            # Controller purge: modified data (dirty L2 lines plus queued
+            # entries) is written to DRAM; controllers drain in parallel.
+            dirty_l2 = hier.clean_l2(l2_slices)
+            scaled = int(dirty_l2 * dirty_scale)
+            report.dirty_lines_drained = scaled
+            if drain_controllers:
+                n_mcs = max(1, len(controllers))
+                per_mc = -(-scaled // n_mcs)
+                mc_cycles = 0
+                for mc in controllers:
+                    mc_cycles = max(mc_cycles, hier.controllers[mc].purge(per_mc))
+                report.mc_drain_cycles = mc_cycles
 
         self.purge_count += 1
         self.total_cycles += report.total_cycles

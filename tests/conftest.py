@@ -6,6 +6,19 @@ import numpy as np
 import pytest
 
 from repro.config import SystemConfig
+from repro.machines import MACHINES
+
+#: Every registered machine, in registry order.  Suites that cover the
+#: whole machine space parametrize from this (or the ``machine_name``
+#: fixture) instead of hand-listing names, so a machine added to the
+#: registry is covered automatically.
+ALL_MACHINES = tuple(MACHINES)
+
+
+@pytest.fixture(params=ALL_MACHINES)
+def machine_name(request) -> str:
+    """One registered machine per parametrized test instance."""
+    return request.param
 
 
 @pytest.fixture(scope="session")

@@ -7,6 +7,7 @@ import pytest
 from repro.__main__ import EXPERIMENTS, main
 import repro.experiments.runner as runner_mod
 from repro.experiments.runner import ExperimentSettings, run_matrix, run_one
+from repro.machines import MACHINES
 from repro.workloads import get_app
 
 
@@ -69,6 +70,30 @@ class TestCli:
     def test_requires_an_argument(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_machines_help_lists_the_registry(self, capsys):
+        """``--machines`` documents every registered machine, by name."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert set(MACHINES) == {
+            "insecure", "sgx", "mi6", "ironhide", "fence_ts", "simf"
+        }
+        for name in MACHINES:
+            assert name in out, name
+
+    def test_machines_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["figscale", "--quick", "--machines", "enclave9000"])
+
+    def test_machines_restricts_figscale_curves(self, capsys):
+        assert main(
+            ["figscale", "--quick", "--machines", "sgx", "fence_ts", "--jobs", "1"]
+        ) == 0
+        out = capsys.readouterr().out.lower()
+        assert "fence_ts" in out
+        assert "mi6" not in out
 
 
 class TestQuickenedOverrides:

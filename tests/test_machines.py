@@ -1,4 +1,9 @@
-"""Integration tests: the four machines running real applications."""
+"""Integration tests: every registered machine running real applications.
+
+The ``results`` fixture (and the coverage meta-test at the bottom)
+builds its machine list from the ``MACHINES`` registry, so a new
+machine is exercised here the moment it registers.
+"""
 
 from __future__ import annotations
 
@@ -36,6 +41,15 @@ class TestMachineBasics:
         with pytest.raises(ValueError):
             build_machine("enclave9000")
 
+    def test_unknown_machine_error_lists_registry(self):
+        """The error names every registered machine, dynamically."""
+        with pytest.raises(ValueError) as excinfo:
+            build_machine("enclave9000")
+        message = str(excinfo.value)
+        for name in MACHINES:
+            assert name in message, name
+        assert "enclave9000" in message
+
     def test_all_machines_complete(self, results):
         for name, r in results.items():
             assert r.completion_cycles > 0, name
@@ -71,6 +85,14 @@ class TestMachineBasics:
         assert results["insecure"].completion_cycles <= results["sgx"].completion_cycles
         assert results["sgx"].completion_cycles < results["mi6"].completion_cycles
         assert results["ironhide"].completion_cycles < results["mi6"].completion_cycles
+
+    def test_temporal_ordering(self, results):
+        """fence.t.s's periodic core-local fence is far cheaper than the
+        per-crossing bulk flushes; SIMF undercuts MI6 by exactly the
+        software purge-sequence overhead it eliminates."""
+        assert results["insecure"].completion_cycles < results["fence_ts"].completion_cycles
+        assert results["fence_ts"].completion_cycles < results["simf"].completion_cycles
+        assert results["simf"].completion_cycles < results["mi6"].completion_cycles
 
     def test_reproducible_given_seed(self):
         cfg = SystemConfig.evaluation()
@@ -133,6 +155,42 @@ class TestIronhideSpecifics:
         st = machine._setup(app, sec, ins, rng)
         cycles = machine.context_switch_secure(app, st)
         assert cycles >= machine.purge_model.estimate_fixed_cost()
+
+
+class TestRegistryCoverage:
+    """Meta-test: registration alone must buy equivalence coverage."""
+
+    GATE = "test_full_machine_runs_identical"
+
+    def test_every_machine_has_an_equivalence_gate(self, request):
+        """Every registered machine must appear in the scalar-vs-vector
+        equivalence gate's parametrization.
+
+        Fails when a machine is added to ``MACHINES`` without riding the
+        registry-driven ``machine_name`` fixture — i.e. when the
+        equivalence suite silently stops covering part of the registry.
+        Skips (rather than passes vacuously) when the equivalence suite
+        was not collected in this session.
+        """
+        covered = set()
+        gate_collected = False
+        for item in request.session.items:
+            if self.GATE not in item.nodeid:
+                continue
+            gate_collected = True
+            callspec = getattr(item, "callspec", None)
+            if callspec is not None:
+                covered.add(callspec.params.get("machine_name"))
+        if not gate_collected:
+            pytest.skip(
+                "equivalence gate not collected in this session; run the "
+                "full suite (or tests/test_replay_equivalence.py) to check "
+                "registry coverage"
+            )
+        missing = set(MACHINES) - covered
+        assert not missing, (
+            f"registered machines with no equivalence gate: {sorted(missing)}"
+        )
 
 
 class TestOsLevelBehaviour:

@@ -1,0 +1,246 @@
+"""Unit tests for the purge-policy layer.
+
+Three properties anchor the refactor:
+
+* the policy space validates and schedules coherently (flush sets are
+  monotone in the fence interval),
+* a ``never`` policy on temporal hardware replays bit-identically to
+  the insecure machine (the policy layer adds zero cost when off), and
+* the MI6 point of the space is exactly the pre-refactor software purge
+  (``PurgeModel.flush`` with everything on equals ``purge``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, build_machine, get_app
+from repro.machines import MACHINES, machine_policy
+from repro.machines.mi6 import Mi6Machine
+from repro.machines.policy import (
+    BOUNDARY_POINTS,
+    DEFAULT_FENCE_INTERVAL,
+    FENCE_TS,
+    MI6_PURGE,
+    NEVER,
+    SIMF_FLUSH,
+    PurgePolicy,
+)
+from repro.machines.temporal import TemporalMachine
+
+APP = "<AES, QUERY>"
+
+
+class TestPolicyValidation:
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown purge schedule"):
+            PurgePolicy(schedule="sometimes")
+
+    @pytest.mark.parametrize("interval", [0, -1, 1.5, "4"])
+    def test_bad_interval_rejected(self, interval):
+        with pytest.raises(ValueError, match="interval"):
+            PurgePolicy(schedule="interval", interval=interval, flush_private=True)
+
+    def test_controller_drain_requires_l2_flush(self):
+        with pytest.raises(ValueError, match="drain_controllers"):
+            PurgePolicy(schedule="crossing", drain_controllers=True)
+
+    def test_never_schedule_rejects_flush_flags(self):
+        with pytest.raises(ValueError, match="'never' schedule"):
+            PurgePolicy(schedule="never", flush_private=True)
+
+    def test_unknown_boundary_point_rejected(self):
+        with pytest.raises(ValueError, match="boundary point"):
+            MI6_PURGE.flushes(0, "middle")
+
+
+class TestPolicySchedule:
+    def test_never_is_stateless(self):
+        assert not NEVER.stateful
+        assert list(NEVER.flush_points(16)) == []
+
+    def test_predictor_only_policy_is_stateless(self):
+        """Predictor state carries no replay timing, so a policy that
+        flushes only the predictor needs no epoch barriers."""
+        pol = PurgePolicy(schedule="crossing", flush_predictor=True)
+        assert not pol.stateful
+
+    def test_crossing_policy_flushes_every_boundary(self):
+        points = list(MI6_PURGE.flush_points(3))
+        assert points == [
+            (0, "entry"), (0, "exit"),
+            (1, "entry"), (1, "exit"),
+            (2, "entry"), (2, "exit"),
+        ]
+
+    def test_interval_policy_fences_every_nth_start(self):
+        pol = PurgePolicy.every_interval(3)
+        assert list(pol.flush_points(7)) == [(0, "begin"), (3, "begin"), (6, "begin")]
+
+    @pytest.mark.parametrize("base", [1, 2, 3])
+    @pytest.mark.parametrize("factor", [2, 3, 4])
+    def test_interval_flush_sets_monotone(self, base, factor):
+        """Every flush point of interval k*i is a flush point of interval i:
+        lengthening the fence period only ever removes flushes."""
+        count = 24
+        coarse = set(PurgePolicy.every_interval(base * factor).flush_points(count))
+        fine = set(PurgePolicy.every_interval(base).flush_points(count))
+        assert coarse <= fine
+
+    def test_flush_counts_non_increasing_in_interval(self):
+        count = 24
+        sizes = [
+            len(list(PurgePolicy.every_interval(i).flush_points(count)))
+            for i in range(1, 9)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_boundary_points_are_exhaustive(self):
+        for index, point in MI6_PURGE.flush_points(4):
+            assert point in BOUNDARY_POINTS
+            assert 0 <= index < 4
+
+
+class TestPolicySignatures:
+    def test_registered_machine_signatures(self):
+        assert machine_policy("insecure").signature() == "never/1/-/sw"
+        assert machine_policy("sgx").signature() == "never/1/-/sw"
+        assert machine_policy("ironhide").signature() == "never/1/-/sw"
+        assert machine_policy("mi6").signature() == "crossing/1/PB2M/sw"
+        assert machine_policy("simf").signature() == "crossing/1/PB2M/hw"
+        assert machine_policy("fence_ts").signature() == (
+            f"interval/{DEFAULT_FENCE_INTERVAL}/PB/hw"
+        )
+
+    def test_interval_forks_the_signature(self):
+        assert (
+            PurgePolicy.every_interval(3).signature()
+            != PurgePolicy.every_interval(4).signature()
+        )
+
+    def test_stateful_policy_signatures_distinct(self):
+        sigs = {machine_policy(name).signature() for name in MACHINES}
+        # The three never-flushing machines share one point of the
+        # space; the three flushing machines each occupy their own.
+        assert len(sigs) == 4
+
+    def test_machine_policy_rejects_unknown(self):
+        with pytest.raises(ValueError, match="enclave9000"):
+            machine_policy("enclave9000")
+
+    def test_mi6_point_is_the_pre_refactor_purge(self):
+        pol = Mi6Machine.purge_policy
+        assert pol is MI6_PURGE
+        assert pol.schedule == "crossing" and pol.interval == 1
+        assert pol.flush_private and pol.flush_predictor
+        assert pol.flush_l2_dirty and pol.drain_controllers
+        assert pol.software_sequence
+
+    def test_simf_differs_from_mi6_only_in_mechanism(self):
+        from dataclasses import replace
+
+        assert SIMF_FLUSH == replace(MI6_PURGE, software_sequence=False)
+
+    def test_fence_ts_leaves_shared_state_alone(self):
+        assert FENCE_TS.flush_private and FENCE_TS.flush_predictor
+        assert not FENCE_TS.flush_l2_dirty and not FENCE_TS.drain_controllers
+
+
+class TestNeverPolicyIsFree:
+    """A temporal machine whose policy never flushes replays the
+    insecure machine's timing bit-identically (modulo the attestation
+    that any attested machine charges once)."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cfg = SystemConfig.evaluation()
+        app = get_app(APP)
+        insecure = build_machine("insecure", cfg).run(app, n_interactions=6, seed=3)
+        never = TemporalMachine(cfg, policy=PurgePolicy.never()).run(
+            app, n_interactions=6, seed=3
+        )
+        return insecure, never
+
+    def test_no_security_cycles_charged(self, runs):
+        _, never = runs
+        bd = never.breakdown
+        assert bd.purge == 0 and bd.crossing == 0 and bd.reconfig == 0
+
+    def test_compute_bit_identical(self, runs):
+        insecure, never = runs
+        assert never.breakdown.compute == insecure.breakdown.compute
+        assert never.l1_miss_rate == insecure.l1_miss_rate
+        assert never.secure == insecure.secure
+        assert never.insecure == insecure.insecure
+
+    def test_total_differs_only_by_attestation(self, runs):
+        insecure, never = runs
+        assert never.breakdown.attestation > 0
+        assert (
+            never.completion_cycles - never.breakdown.attestation
+            == insecure.completion_cycles
+        )
+
+
+class TestFlushModel:
+    def _fresh_hier(self):
+        machine = build_machine("insecure", SystemConfig.small())
+        return machine, machine.hier
+
+    def test_full_flush_equals_purge(self):
+        """``flush`` with every component on is the MI6 ``purge``,
+        report-for-report, on identically-prepared hierarchies."""
+        m_a, hier_a = self._fresh_hier()
+        m_b, hier_b = self._fresh_hier()
+        cores, slices, mcs = [0, 1], [0, 1], [0]
+        via_purge = m_a.purge_model.purge(hier_a, cores, slices, mcs, 2.0)
+        via_flush = m_b.purge_model.flush(hier_b, cores, slices, mcs, 2.0)
+        assert via_purge == via_flush
+        assert m_a.purge_model.purge_count == m_b.purge_model.purge_count == 1
+        assert m_a.purge_model.total_cycles == m_b.purge_model.total_cycles
+
+    def test_hardware_flush_drops_software_fixed_costs(self):
+        m_a, hier_a = self._fresh_hier()
+        m_b, hier_b = self._fresh_hier()
+        cores, slices, mcs = [0, 1], [0, 1], [0]
+        sw = m_a.purge_model.flush(hier_a, cores, slices, mcs, software_sequence=True)
+        hw = m_b.purge_model.flush(hier_b, cores, slices, mcs, software_sequence=False)
+        assert hw.dummy_read_cycles == 0 and hw.tlb_flush_cycles == 0
+        assert sw.dummy_read_cycles > 0 and sw.tlb_flush_cycles > 0
+        # The stateful components are unchanged by the mechanism.
+        assert hw.l1_drain_cycles == sw.l1_drain_cycles
+        assert hw.mc_drain_cycles == sw.mc_drain_cycles
+        assert hw.dirty_lines_drained == sw.dirty_lines_drained
+
+    def test_core_local_flush_leaves_l2_alone(self):
+        m, hier = self._fresh_hier()
+        report = m.purge_model.flush(
+            hier, [0, 1], flush_l2_dirty=False, drain_controllers=False,
+            software_sequence=False,
+        )
+        assert report.mc_drain_cycles == 0
+        assert report.dirty_lines_drained == 0
+
+
+class TestFlushScheduleOnHardware:
+    """The purge model's flush counter exposes the schedule a run
+    actually executed — engine-independent by the equivalence suite."""
+
+    @pytest.mark.parametrize(
+        "machine,kwargs,expected",
+        [
+            # 6 measured + 2 warm-up interactions = 8 indices.
+            ("mi6", {}, 16),        # entry + exit each interaction
+            ("simf", {}, 16),       # same schedule, ISA mechanism
+            ("fence_ts", {}, 2),    # k % 4 == 0 for k in 0..7
+            ("fence_ts", {"fence_interval": 2}, 4),
+            ("sgx", {}, 0),
+            ("insecure", {}, 0),
+        ],
+    )
+    def test_flush_count_matches_schedule(self, machine, kwargs, expected):
+        cfg = SystemConfig.evaluation()
+        m = build_machine(machine, cfg, **kwargs)
+        m.run(get_app(APP), n_interactions=6, seed=0)
+        assert m.purge_model.purge_count == expected

@@ -20,7 +20,12 @@ from repro.arch.hierarchy import MemoryHierarchy, ProcessContext
 from repro.arch.native import native_available
 from repro.config import SystemConfig
 from repro.experiments.runner import ExperimentSettings, run_one
+from repro.machines import MACHINES, build_machine
 from repro.workloads import get_app
+
+#: Registry-derived machine axis (same list the shared ``machine_name``
+#: fixture in conftest.py parametrizes over) for direct parametrization.
+ALL_MACHINES = tuple(MACHINES)
 
 pytestmark = pytest.mark.equivalence
 
@@ -439,10 +444,15 @@ class TestPurgePathOccupancy:
 
 
 class TestMachineEquivalence:
-    @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
-    def test_full_machine_runs_identical(self, backend, machine):
+    def test_full_machine_runs_identical(self, backend, machine_name):
         """End-to-end machine runs (purges, IPC, reconfiguration and
-        timing model included) must not depend on the engine."""
+        timing model included) must not depend on the engine.
+
+        Parametrized over the whole ``MACHINES`` registry via the
+        shared ``machine_name`` fixture — this is the equivalence gate
+        the registry-coverage meta-test in ``test_machines.py`` keys
+        on.
+        """
         results = {}
         for engine in ("scalar", "vector"):
             settings = ExperimentSettings(
@@ -450,10 +460,10 @@ class TestMachineEquivalence:
                 n_user=3,
                 n_os=6,
             )
-            results[engine] = run_one(get_app("<AES, QUERY>"), machine, settings)
+            results[engine] = run_one(get_app("<AES, QUERY>"), machine_name, settings)
         assert results["scalar"] == results["vector"]
 
-    @pytest.mark.parametrize("machine", ["insecure", "sgx", "mi6", "ironhide"])
+    @pytest.mark.parametrize("machine", ALL_MACHINES)
     def test_fig6_mix_batched_identical(self, machine, calibration_cache):
         """Scalar per-interaction loop vs batched vector pipeline over
         the full Fig. 6 application mix, for every machine.
@@ -510,10 +520,11 @@ class TestAttackEquivalence:
         ["prime_probe", "covert", "noc_probe", "spectre", "purge_timing", "noc_covert"],
     )
     def test_attack_payload_engine_invariant(self, kind, backend):
+        from repro.attacks.environment import ISOLATION_MODELS
         from repro.attacks.scenarios import run_attack_scenario
 
         base = SystemConfig.evaluation()
-        for model in ("insecure", "sgx", "mi6", "ironhide"):
+        for model in ISOLATION_MODELS:
             scalar = run_attack_scenario(
                 kind, model, base.with_engine("scalar"), 1.0, seed=0
             )
@@ -521,3 +532,51 @@ class TestAttackEquivalence:
                 kind, model, base.with_engine("vector"), 1.0, seed=0
             )
             assert scalar == vector, (kind, model, backend)
+
+
+class TestMachineFuzzEquivalence:
+    """Registry-wide seed-fuzz sweep: random run shapes, both engines.
+
+    Complements the targeted machine gates above with SeedSequence-
+    derived randomized runs (the PR-2 fuzz idiom): every registered
+    machine × several derived seeds, with the app, interaction counts
+    and run seed all drawn from the per-case generator.  The temporal
+    machines additionally get a non-default fence interval gate, since
+    the interval changes the epoch-barrier placement in the batched
+    pipeline.
+    """
+
+    #: Independent streams derived from one root SeedSequence; the
+    #: entropy values (not the objects) parametrize so test IDs are
+    #: stable and each case reseeds identically everywhere.
+    SEEDS = [int(s.generate_state(1)[0]) for s in np.random.SeedSequence(20260808).spawn(3)]
+
+    FUZZ_APPS = ("<AES, QUERY>", "<MEMCACHED, OS>", "<TC, GRAPH>")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fuzzed_machine_runs_identical(self, backend, machine_name, seed):
+        rng = np.random.default_rng(seed)
+        app = get_app(self.FUZZ_APPS[int(rng.integers(len(self.FUZZ_APPS)))])
+        n = int(rng.integers(2, 6))
+        run_seed = int(rng.integers(0, 1 << 16))
+        results = {}
+        for engine in ("scalar", "vector"):
+            machine = build_machine(
+                machine_name, SystemConfig.evaluation().with_engine(engine)
+            )
+            results[engine] = machine.run(app, n_interactions=n, seed=run_seed)
+        assert results["scalar"] == results["vector"], (machine_name, seed)
+
+    @pytest.mark.parametrize("machine,interval", [("fence_ts", 3), ("simf", 2)])
+    def test_nondefault_fence_interval_identical(self, backend, machine, interval):
+        app = get_app("<AES, QUERY>")
+        results = {}
+        for engine in ("scalar", "vector"):
+            m = build_machine(
+                machine,
+                SystemConfig.evaluation().with_engine(engine),
+                fence_interval=interval,
+            )
+            assert m.purge_policy.interval == interval
+            results[engine] = m.run(app, n_interactions=5, seed=3)
+        assert results["scalar"] == results["vector"], (machine, interval)

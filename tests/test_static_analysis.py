@@ -28,7 +28,7 @@ from repro.analysis.core import (
     parse_pragmas,
     registered_checkers,
 )
-from repro.analysis import abi, cache_keys, determinism, mp_safety
+from repro.analysis import abi, cache_keys, determinism, machines, mp_safety
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -99,6 +99,8 @@ class TestPragmas:
             "repro.analysis.abi",
             "repro.analysis.cache_keys",
             "repro.analysis.mp_safety",
+            "repro.analysis.faults",
+            "repro.analysis.machines",
         } <= names
 
 
@@ -708,6 +710,160 @@ class TestMpSafety:
 
 
 # ---------------------------------------------------------------------------
+# machines.*: the registry vs goldens, audit manifest and docs
+# ---------------------------------------------------------------------------
+
+
+_MACHINES_REGISTRY = snippet(
+    """
+    MACHINES = {
+        "insecure": InsecureMachine,
+        "mi6": Mi6Machine,
+    }
+    """
+)
+
+
+def _synced_golden() -> dict:
+    return {
+        "model": "test-model",
+        "figattack": {
+            "results": {
+                "covert": {"insecure": [1], "mi6": [2]},
+                "spectre": {"insecure": [1], "mi6": [2]},
+            }
+        },
+        "figscale": {"normalized": {"all": {"mi6": [1.0]}}},
+    }
+
+
+def _machines_ctx(tmp_path, registry_text=_MACHINES_REGISTRY, golden="synced",
+                  audit="synced", docs="synced", extra_files=()):
+    """A doctored repo root + context for the machines rules.
+
+    ``golden``/``audit``/``docs`` accept ``"synced"`` (write an artifact
+    consistent with the registry), ``None`` (write nothing) or explicit
+    content (a dict for the JSON artifacts, text for the docs).
+    """
+    files = [
+        SourceFile.from_text("src/repro/machines/__init__.py", registry_text),
+        SourceFile.from_text("src/repro/machines/base.py", "class Machine: ...\n"),
+    ]
+    files.extend(SourceFile.from_text(rel, text) for rel, text in extra_files)
+    (tmp_path / "tests" / "golden").mkdir(parents=True, exist_ok=True)
+    (tmp_path / "docs").mkdir(exist_ok=True)
+    if golden == "synced":
+        golden = _synced_golden()
+    if golden is not None:
+        (tmp_path / "tests" / "golden" / "figures_quick.json").write_text(
+            json.dumps(golden)
+        )
+    if audit == "synced":
+        audit = {
+            "model_version": "test-model",
+            "digests": {f.rel: "x" for f in files},
+        }
+    if audit is not None:
+        (tmp_path / "tests" / "golden" / "model_audit.json").write_text(
+            json.dumps(audit)
+        )
+    if docs == "synced":
+        docs = "insecure mi6\n"
+    if docs is not None:
+        for rel in ("docs/architecture.md", "docs/experiments.md"):
+            (tmp_path / rel).write_text(docs)
+    return RepoContext(tmp_path, files)
+
+
+class TestMachineRules:
+    def test_synced_artifacts_are_clean(self, tmp_path):
+        ctx = _machines_ctx(tmp_path)
+        assert machines.check_machines(ctx) == []
+
+    def test_registry_parses_names_and_line(self, tmp_path):
+        ctx = _machines_ctx(tmp_path)
+        line, names = machines.registered_machines(ctx)
+        assert names == ("insecure", "mi6")
+        assert line == 1
+
+    def test_machine_missing_from_attack_grid_flagged(self, tmp_path):
+        golden = _synced_golden()
+        del golden["figattack"]["results"]["spectre"]["mi6"]
+        ctx = _machines_ctx(tmp_path, golden=golden)
+        findings = machines.check_machines(ctx)
+        assert [f.rule for f in findings] == ["machines.machine-not-covered"]
+        assert "'spectre'" in findings[0].message and "'mi6'" in findings[0].message
+        assert findings[0].path == "src/repro/machines/__init__.py"
+
+    def test_stale_golden_curve_flagged(self, tmp_path):
+        golden = _synced_golden()
+        golden["figattack"]["results"]["covert"]["enclave9000"] = [3]
+        ctx = _machines_ctx(tmp_path, golden=golden)
+        findings = machines.check_machines(ctx)
+        assert [f.rule for f in findings] == ["machines.unknown-machine"]
+        assert "enclave9000" in findings[0].message
+
+    def test_normalization_base_exempt_from_figscale(self, tmp_path):
+        # The synced fixture already omits 'insecure' from normalized:
+        # that must not count as missing coverage...
+        ctx = _machines_ctx(tmp_path)
+        assert machines.check_machines(ctx) == []
+        # ...but a protected machine missing from a group is flagged.
+        golden = _synced_golden()
+        golden["figscale"]["normalized"]["all"] = {}
+        findings = machines.check_machines(_machines_ctx(tmp_path, golden=golden))
+        assert [f.rule for f in findings] == ["machines.machine-not-covered"]
+        assert "figscale" in findings[0].message
+
+    def test_machine_missing_from_docs_flagged(self, tmp_path):
+        ctx = _machines_ctx(tmp_path, docs="only insecure here\n")
+        findings = machines.check_machines(ctx)
+        assert {f.rule for f in findings} == {"machines.machine-not-covered"}
+        assert len(findings) == 2  # one per doc file
+        assert all("'mi6'" in f.message for f in findings)
+
+    def test_unaudited_machine_module_flagged(self, tmp_path):
+        audit = {"model_version": "test-model",
+                 "digests": {"src/repro/machines/__init__.py": "x"}}
+        ctx = _machines_ctx(tmp_path, audit=audit)
+        findings = machines.check_machines(ctx)
+        assert [f.rule for f in findings] == ["machines.machine-not-covered"]
+        assert findings[0].path == "src/repro/machines/base.py"
+        assert "model-audit" in findings[0].message
+
+    def test_audited_ghost_module_flagged(self, tmp_path):
+        audit = {
+            "model_version": "test-model",
+            "digests": {
+                "src/repro/machines/__init__.py": "x",
+                "src/repro/machines/base.py": "x",
+                "src/repro/machines/ghost.py": "x",
+            },
+        }
+        ctx = _machines_ctx(tmp_path, audit=audit)
+        findings = machines.check_machines(ctx)
+        assert [f.rule for f in findings] == ["machines.unknown-machine"]
+        assert "ghost.py" in findings[0].message
+
+    def test_missing_artifacts_mean_no_findings(self, tmp_path):
+        ctx = _machines_ctx(tmp_path, golden=None, audit=None, docs=None)
+        assert machines.check_machines(ctx) == []
+
+    def test_no_registry_means_no_findings(self, tmp_path):
+        ctx = RepoContext(
+            tmp_path, [SourceFile.from_text("src/x.py", "MACHINES = {}\n")]
+        )
+        assert machines.check_machines(ctx) == []
+
+    def test_real_repo_registry_matches_package(self):
+        from repro.machines import MACHINES as real
+
+        ctx = RepoContext.scan(REPO)
+        _, names = machines.registered_machines(ctx)
+        assert names == tuple(real)
+
+
+# ---------------------------------------------------------------------------
 # whole-repo gate + CLI
 # ---------------------------------------------------------------------------
 
@@ -761,7 +917,7 @@ class TestCheckStaticCli:
     def test_cli_list_rules(self):
         proc = self._run("--list-rules")
         assert proc.returncode == 0
-        for fam in ("determinism", "abi", "cache_keys", "mp_safety"):
+        for fam in ("determinism", "abi", "cache_keys", "mp_safety", "machines"):
             assert fam in proc.stdout
 
     def test_cli_fails_on_seeded_violation(self, tmp_path):

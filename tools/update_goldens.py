@@ -9,6 +9,14 @@ bump of ``repro.experiments.store.MODEL_VERSION``:
 The numbers are generated with the scalar (reference) engine and then
 verified bit-exact against the vector engine before anything is
 written, so a refresh can never freeze an engine divergence.
+
+When the model version is unchanged, the refresh must be *additive*:
+every leaf value already pinned in the existing golden file has to
+survive byte-identically (new curves/sections may appear — e.g. a new
+machine joining a figure grid — but changing an existing number without
+a ``MODEL_VERSION`` bump is a model drift, and the tool refuses to
+freeze it).  ``--allow-shrink`` overrides the check for intentional
+removals.
 """
 
 from __future__ import annotations
@@ -23,6 +31,24 @@ from repro.experiments.golden import collect_golden_numbers
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / "figures_quick.json"
 
 
+def changed_leaves(old, new, path=""):
+    """Paths of pinned leaves of ``old`` that changed or vanished in ``new``."""
+    if isinstance(old, dict) and isinstance(new, dict):
+        drifted = []
+        for key, value in old.items():
+            here = f"{path}.{key}" if path else str(key)
+            if key not in new:
+                drifted.append(f"{here} (removed)")
+            else:
+                drifted.extend(changed_leaves(value, new[key], here))
+        return drifted
+    # Lists are positional series (one value per grid point): any
+    # reshape of an existing series is a drift, not an addition.
+    if old != new:
+        return [f"{path} ({old!r} -> {new!r})"]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -32,6 +58,12 @@ def main(argv=None) -> int:
         "--skip-cross-check",
         action="store_true",
         help="skip the scalar-vs-vector verification (debugging only)",
+    )
+    parser.add_argument(
+        "--allow-shrink",
+        action="store_true",
+        help="permit changing/removing already-pinned values without a "
+             "MODEL_VERSION bump (intentional section removals only)",
     )
     args = parser.parse_args(argv)
 
@@ -47,6 +79,32 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+
+    if args.out.exists() and not args.allow_shrink:
+        with open(args.out, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+        # Canonicalize the fresh payload through JSON so floats compare
+        # by their stored shortest-repr doubles.
+        fresh = json.loads(json.dumps(golden))
+        if previous.get("model") == fresh.get("model"):
+            drifted = changed_leaves(
+                {k: v for k, v in previous.items() if k != "model"},
+                {k: v for k, v in fresh.items() if k != "model"},
+            )
+            if drifted:
+                print(
+                    "ERROR: refresh is not additive — the model version is "
+                    "unchanged but these pinned values drifted:",
+                    file=sys.stderr,
+                )
+                for path in drifted[:40]:
+                    print(f"  {path}", file=sys.stderr)
+                print(
+                    "Bump MODEL_VERSION for an intentional model change, or "
+                    "pass --allow-shrink for an intentional removal.",
+                    file=sys.stderr,
+                )
+                return 1
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     with open(args.out, "w", encoding="utf-8") as fh:
