@@ -6,12 +6,13 @@
     python -m repro fig8 --quick         # reduced interaction counts
     python -m repro figscale --quick     # overhead vs trace length
     python -m repro figattack --quick    # attack channels vs observation
+    python -m repro figpop --quick       # population tail percentiles
 
 On a multi-core host every figure runs through the vector engine and a
 chunked process pool by default (``--jobs``/``--chunk``); ``--jobs 1``
 restores the serial path with bit-identical output.  ``--plot-dir DIR``
 additionally renders SVG charts for the figures that have plotters
-(fig6, fig8, figscale, figattack); ``--check-golden`` verifies a quick
+(fig6, fig8, figscale, figattack, figpop); ``--check-golden`` verifies a quick
 run against the pinned golden numbers (CI's scale smoke phase).
 """
 
@@ -31,6 +32,7 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
     run_figattack,
+    run_figpop,
     run_figscale,
     run_interactivity_table,
 )
@@ -38,7 +40,9 @@ from repro.experiments.ablations import run_all_ablations
 from repro.experiments.fig6 import plot_fig6
 from repro.experiments.fig8 import plot_fig8
 from repro.experiments import figattack as _figattack
+from repro.experiments import figpop as _figpop
 from repro.experiments.figattack import plot_figattack
+from repro.experiments.figpop import plot_figpop
 from repro.experiments.figscale import QUICK_SCALES, SCALES, plot_figscale
 from repro.experiments.store import get_store
 from repro.machines import MACHINES
@@ -61,6 +65,10 @@ EXPERIMENTS = {
         s, scales=_figattack.QUICK_SCALES if quick else _figattack.SCALES,
         machines=machines,
     ),
+    "figpop": lambda s, quick, machines: run_figpop(
+        s, sizes=_figpop.QUICK_SIZES if quick else _figpop.SIZES,
+        machines=machines,
+    ),
     "tables": lambda s, quick, machines: run_interactivity_table(s),
     "ablations": lambda s, quick, machines: run_all_ablations(s),
 }
@@ -71,6 +79,7 @@ PLOTTERS = {
     "fig8": plot_fig8,
     "figscale": plot_figscale,
     "figattack": plot_figattack,
+    "figpop": plot_figpop,
 }
 
 #: Experiments whose quick payload is pinned in the golden file and can
@@ -78,6 +87,7 @@ PLOTTERS = {
 GOLDEN_PAYLOADS = {
     "figscale": lambda data: data.as_payload(),
     "figattack": lambda data: data.as_payload(),
+    "figpop": lambda data: data.as_payload(),
 }
 
 GOLDEN_PATH = Path(__file__).resolve().parents[2] / "tests" / "golden" / "figures_quick.json"
@@ -223,7 +233,7 @@ def main(argv=None) -> int:
         "--plot-dir",
         default=None,
         help="render SVG charts here for figures with plotters "
-             "(fig6, fig8, figscale, figattack)",
+             "(fig6, fig8, figscale, figattack, figpop)",
     )
     parser.add_argument(
         "--machines",
@@ -231,7 +241,7 @@ def main(argv=None) -> int:
         choices=sorted(MACHINES),
         default=None,
         metavar="NAME",
-        help="restrict figscale/figattack to these machines "
+        help="restrict figscale/figattack/figpop to these machines "
              f"(registry: {', '.join(MACHINES)}; default: all); "
              "note --check-golden pins the full grid",
     )
@@ -239,7 +249,7 @@ def main(argv=None) -> int:
         "--check-golden",
         action="store_true",
         help="verify quick output against tests/golden/figures_quick.json "
-             "(supported: figscale, figattack)",
+             "(supported: figscale, figattack, figpop)",
     )
     parser.add_argument(
         "--faults",

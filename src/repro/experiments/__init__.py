@@ -10,6 +10,7 @@ from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.figattack import run_figattack
+from repro.experiments.figpop import run_figpop
 from repro.experiments.figscale import run_figscale
 from repro.experiments.runner import ExperimentSettings, run_matrix
 from repro.experiments.store import ResultStore, get_store
@@ -22,6 +23,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_figattack",
+    "run_figpop",
     "run_figscale",
     "run_interactivity_table",
     "ExperimentSettings",

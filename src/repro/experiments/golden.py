@@ -3,7 +3,9 @@
 ``tests/test_golden_figures.py`` freezes the per-(app, machine)
 speedup/latency numbers of Figures 1, 6, 7 and 8, the trace-length
 overhead sweep (``figscale``, on its quick grid), the attack-channel
-grid (``figattack``, on its quick grid) plus all five ablations — as produced by the CLI's ``--quick`` settings — into
+grid (``figattack``, on its quick grid), the served-population
+percentile sweep (``figpop``, on its quick grid) plus all five
+ablations — as produced by the CLI's ``--quick`` settings — into
 checked-in JSON and asserts **bit-exact** equality on every run, on
 both replay engines.  This module is the single source of truth for
 what gets frozen; ``tools/update_goldens.py`` reuses it to refresh the
@@ -34,6 +36,8 @@ from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.figattack import QUICK_SCALES as ATTACK_QUICK_SCALES
 from repro.experiments.figattack import run_figattack
+from repro.experiments.figpop import QUICK_SIZES as POP_QUICK_SIZES
+from repro.experiments.figpop import run_figpop
 from repro.experiments.figscale import QUICK_SCALES, run_figscale
 from repro.experiments.runner import ExperimentSettings
 from repro.experiments.store import MODEL_VERSION
@@ -60,6 +64,7 @@ def collect_golden_numbers(
     fig8 = run_fig8(settings, verbose=False)
     figscale = run_figscale(settings, scales=QUICK_SCALES, verbose=False)
     figattack = run_figattack(settings, scales=ATTACK_QUICK_SCALES, verbose=False)
+    figpop = run_figpop(settings, sizes=POP_QUICK_SIZES, verbose=False)
     homing = ablate_homing(settings, verbose=False)
     routing = ablate_routing(verbose=False, settings=settings)
     binding = ablate_binding(settings, verbose=False)
@@ -104,6 +109,7 @@ def collect_golden_numbers(
         },
         "figscale": figscale.as_payload(),
         "figattack": figattack.as_payload(),
+        "figpop": figpop.as_payload(),
         "ablation_homing": {k: float(v) for k, v in homing.items()},
         "ablation_routing": {k: int(v) for k, v in routing.items()},
         "ablation_binding": {k: float(v) for k, v in binding.items()},

@@ -605,6 +605,41 @@ def _run_scaled_pair(unit: WorkUnit, settings):
     return _runner.run_one(app, unit.machine, settings)
 
 
+def population_unit(
+    app_name: str, machine_name: str, scale: float, interactions: int
+) -> WorkUnit:
+    """One served-user (app, machine) run: scaled trace, explicit session.
+
+    A population collapses onto distinct ``(app, trace_scale,
+    interactions)`` tuples (:mod:`repro.workloads.population`); each
+    tuple runs once per machine as one of these units.  Both the scale
+    and the per-user interaction count ride in ``params`` (and
+    therefore in the store key), so population runs never collide with
+    ``pair``/``scaled_pair`` results that use the settings' counts.
+    """
+    return WorkUnit(
+        "pop_pair",
+        app=app_name,
+        machine=machine_name,
+        variant=f"x{scale:g}n{int(interactions)}",
+        params=(float(scale), int(interactions)),
+    )
+
+
+@unit_runner("pop_pair")
+def _run_pop_pair(unit: WorkUnit, settings):
+    """Run one served-user tuple: scale the traces, set the session length."""
+    from dataclasses import replace as replace_spec
+
+    app = replace_spec(get_app(unit.app), trace_scale=float(unit.params[0]))
+    run_settings = replace_spec(
+        settings,
+        n_user=int(unit.params[1]),
+        n_os=int(unit.params[1]),
+    )
+    return _runner.run_one(app, unit.machine, run_settings)
+
+
 def attack_unit(kind: str, machine_name: str, scale: float) -> WorkUnit:
     """One attack scenario on one isolation model at one trace scale.
 

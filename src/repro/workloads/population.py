@@ -1,0 +1,223 @@
+"""Served-population workload generator: skewed many-user mixes.
+
+Every paper figure replays the fixed Fig. 6 mix; a capacity-planning
+service instead sees **traffic**: thousands of users, each running one
+app with their own session length and working-set scale, drawn from
+heavily skewed popularity distributions.  This module models that as a
+deterministic sampler: user ``i`` of a population is one
+:class:`UserLoad` — an ``(app, role, trace_scale, interactions)``
+tuple — drawn from
+
+* a **Zipf** popularity law over the nine registered apps (registry
+  order is the popularity ranking; rank ``k`` has probability
+  proportional to ``1 / k**skew``),
+* a Bernoulli **role** split (``interactive`` short sessions vs
+  ``batch`` sustained ones),
+* a **log-normal** working-set multiplier quantized onto
+  :attr:`PopulationSpec.scale_grid` (nearest grid point in log space),
+* a role-dependent session-length draw from a small quantized grid.
+
+Two properties make populations cheap to serve and easy to test:
+
+**Index-only streams.**  Each user's tuple is derived from an
+independent RNG seeded by ``(seed, "population", index)`` through the
+same :class:`numpy.random.SeedSequence` idiom as the attack harnesses
+(:func:`repro.attacks.seeding.attack_rng`) — no process-salted
+``hash()``, no draw-order coupling between users.  User 17's load is
+the same whether it is sampled alone, inside ``[0, 64)`` or inside
+``[0, 1024)``; disjoint index ranges are disjoint streams, and a
+population of size ``n`` is a strict prefix of every larger one.
+
+**Quantized tuples.**  Scales and session lengths land on small fixed
+grids, so a population of thousands of users collapses onto a bounded
+set of distinct ``(app, trace_scale, interactions)`` tuples — each one
+an ordinary :class:`~repro.workloads.base.AppSpec` via
+:meth:`UserLoad.app_spec`, so trace bundles, store keys and both
+replay engines work unchanged, and the sweep scheduler runs each
+distinct tuple once per machine no matter how many users share it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.attacks.seeding import attack_rng
+from repro.workloads.interactive import APPS, get_app
+from repro.workloads.base import AppSpec
+
+#: Working-set multipliers a log-normal draw is quantized onto (the
+#: :attr:`AppSpec.trace_scale` axis figscale sweeps).  Kept small so
+#: distinct tuples stay bounded and the store dedups across users.
+TRACE_SCALE_GRID = (1.0, 2.0, 4.0)
+
+#: Session lengths (interactions per user) for short interactive
+#: sessions vs sustained batch ones.  The grids are disjoint, so the
+#: role is recoverable from the tuple.
+INTERACTIVE_INTERACTIONS = (3, 6)
+BATCH_INTERACTIONS = (10, 20)
+
+#: The two user roles, in draw order.
+ROLES = ("interactive", "batch")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Distribution parameters of one served population.
+
+    ``skew`` is the Zipf exponent over app popularity ranks (0 =
+    uniform; larger concentrates traffic on the top-ranked apps).
+    ``sigma`` is the log-normal shape of the working-set multiplier
+    before quantization onto ``scale_grid``.  ``interactive_fraction``
+    is the probability a user runs a short interactive session rather
+    than a sustained batch one.
+    """
+
+    skew: float = 1.1
+    sigma: float = 0.8
+    interactive_fraction: float = 0.75
+    scale_grid: Tuple[float, ...] = TRACE_SCALE_GRID
+    interactive_interactions: Tuple[int, ...] = INTERACTIVE_INTERACTIONS
+    batch_interactions: Tuple[int, ...] = BATCH_INTERACTIONS
+
+    def __post_init__(self) -> None:
+        if self.skew < 0:
+            raise ValueError("skew must be >= 0")
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ValueError("interactive_fraction must be within [0, 1]")
+        for grid in (self.scale_grid, self.interactive_interactions,
+                     self.batch_interactions):
+            if not grid:
+                raise ValueError("grids must be non-empty")
+            if any(v <= 0 for v in grid):
+                raise ValueError("grid values must be positive")
+
+    def interactions_grid(self, role: str) -> Tuple[int, ...]:
+        """The session-length grid for one role."""
+        if role not in ROLES:
+            raise ValueError(f"bad role {role!r}")
+        return (
+            self.interactive_interactions
+            if role == "interactive"
+            else self.batch_interactions
+        )
+
+
+@dataclass(frozen=True)
+class UserLoad:
+    """One served user: which app they run, and how hard.
+
+    ``trace_scale`` and ``interactions`` are grid-quantized, so many
+    users share one distinct ``unit_tuple`` and the sweep scheduler
+    runs it once per machine.
+    """
+
+    index: int
+    app: str
+    role: str
+    trace_scale: float
+    interactions: int
+
+    def unit_tuple(self) -> Tuple[str, float, int]:
+        """The deduplication identity: ``(app, scale, interactions)``."""
+        return (self.app, self.trace_scale, self.interactions)
+
+    def app_spec(self) -> AppSpec:
+        """This user's load as an ordinary validated :class:`AppSpec`.
+
+        A ``dataclasses.replace`` of the registered app, so the spec
+        revalidates (``trace_scale > 0``, ``n_interactions >= 1``) and
+        every downstream consumer — bundles, store keys, both replay
+        engines — sees a plain app.
+        """
+        return replace(
+            get_app(self.app),
+            trace_scale=float(self.trace_scale),
+            n_interactions=int(self.interactions),
+        )
+
+
+def app_probabilities(skew: float, n_apps: int = len(APPS)) -> np.ndarray:
+    """Zipf popularity over app ranks: ``p_k ~ 1 / (k + 1)**skew``.
+
+    Rank 0 is the registry's first app.  Strictly decreasing for any
+    ``skew > 0`` (uniform at 0), which is the rank-frequency
+    monotonicity the property suite pins.
+    """
+    weights = np.array(
+        [1.0 / float(rank + 1) ** skew for rank in range(n_apps)], dtype=np.float64
+    )
+    return weights / weights.sum()
+
+
+def quantize_scale(value: float, grid: Tuple[float, ...]) -> float:
+    """Nearest grid point in log space (ties resolve to the smaller).
+
+    Log-space distance keeps the quantization scale-free: on the grid
+    ``(1, 2, 4)`` the decision boundaries are the geometric midpoints
+    ``sqrt(2)`` and ``sqrt(8)``, so 1.4 maps to 1 while 2.9 maps to 4.
+    """
+    target = math.log(value)
+    best = min(grid, key=lambda g: (abs(math.log(g) - target), g))
+    return float(best)
+
+
+def sample_user(seed: int, index: int, spec: PopulationSpec) -> UserLoad:
+    """Draw user ``index``'s load from its own SeedSequence stream.
+
+    The stream is scoped by ``(seed, "population", index)`` only — not
+    by the distribution parameters or any batch boundary — and the
+    four draws (app, role, scale, session length) consume it in a
+    fixed documented order.  This is what makes populations prefix
+    stable: the same user index always replays the same underlying
+    uniforms, whatever window it is sampled through.
+    """
+    rng = attack_rng(seed, "population", int(index))
+    u_app = rng.random()
+    u_role = rng.random()
+    z_scale = rng.standard_normal()
+    u_length = rng.random()
+
+    cdf = np.cumsum(app_probabilities(spec.skew))
+    app = APPS[int(np.searchsorted(cdf, u_app, side="right").item())]
+    role = ROLES[0] if u_role < spec.interactive_fraction else ROLES[1]
+    scale = quantize_scale(math.exp(spec.sigma * z_scale), spec.scale_grid)
+    grid = spec.interactions_grid(role)
+    interactions = int(grid[min(len(grid) - 1, int(u_length * len(grid)))])
+    return UserLoad(
+        index=int(index),
+        app=app.name,
+        role=role,
+        trace_scale=scale,
+        interactions=interactions,
+    )
+
+
+def sample_population(
+    seed: int, count: int, spec: PopulationSpec, start: int = 0
+) -> List[UserLoad]:
+    """Users ``start .. start + count`` of the served population.
+
+    Bit-reproducible across processes and engines from ``seed`` alone
+    (the :class:`~repro.experiments.runner.ExperimentSettings` seed in
+    the figure drivers), and window-independent:
+    ``sample_population(s, 64)[:16] == sample_population(s, 16)``.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    return [sample_user(seed, start + i, spec) for i in range(count)]
+
+
+def distinct_unit_tuples(users: List[UserLoad]) -> List[Tuple[str, float, int]]:
+    """The deduplicated ``(app, scale, interactions)`` tuples, sorted.
+
+    This is the set the sweep scheduler actually runs (once per
+    machine); its size over the population size is the service's
+    cache-collapse ratio.
+    """
+    return sorted({user.unit_tuple() for user in users})

@@ -250,6 +250,65 @@ class TestPersistentSweeps:
             }
         assert contents["serial"] == contents["chunked"]
 
+    def test_figpop_jobs_invariance(self):
+        """figpop output is identical serial, pooled and chunked."""
+        from repro.experiments.figpop import run_figpop
+
+        runs = {}
+        for label, jobs, chunk in (
+            ("serial", 1, None),
+            ("pooled", 4, None),
+            ("chunk-2", 4, 2),
+        ):
+            settings = ExperimentSettings(no_cache=True)
+            runs[label] = run_figpop(
+                settings, sizes=(8,), skews=(0.6,),
+                machines=("sgx", "mi6"), verbose=False, jobs=jobs, chunk=chunk,
+            )
+        assert runs["serial"] == runs["pooled"] == runs["chunk-2"]
+
+    def test_figpop_store_identity(self, tmp_path):
+        """A serial and a ``--jobs 2 --chunk 2`` figpop run persist
+        byte-identical store contents: population units carry their
+        (scale, interactions) params into the key derivation, and the
+        chunk workers must reproduce it exactly."""
+        from repro.experiments import store as store_mod
+        from repro.experiments.figpop import run_figpop
+
+        contents = {}
+        for label, jobs, chunk in (("serial", 1, None), ("chunked", 2, 2)):
+            store_mod.reset_stores()
+            cache_dir = tmp_path / label
+            settings = ExperimentSettings(cache_dir=str(cache_dir))
+            run_figpop(
+                settings, sizes=(8,), skews=(0.6,),
+                machines=("sgx", "mi6"), verbose=False, jobs=jobs, chunk=chunk,
+            )
+            contents[label] = {
+                p.name: p.read_bytes()
+                for p in sorted(cache_dir.rglob("*"))
+                if p.is_file()
+            }
+        assert contents["serial"] == contents["chunked"]
+
+    def test_figpop_quick_warm_cache_dir_zero_machine_runs(
+        self, tmp_path, monkeypatch
+    ):
+        """A chunked-pool ``figpop --quick`` run leaves a cache dir a
+        second (serial) invocation completes from on store hits alone —
+        zero machine runs — even with the memory layer dropped."""
+        cache_dir = str(tmp_path / "results")
+        assert main(["figpop", "--quick", "--cache-dir", cache_dir,
+                     "--jobs", "2", "--chunk", "2"]) == 0
+        runner_mod.clear_result_cache()  # disk is all that's left
+
+        def no_runs(*args, **kwargs):
+            raise AssertionError("machine run despite a warm result store")
+
+        monkeypatch.setattr(runner_mod, "run_one", no_runs)
+        assert main(["figpop", "--quick", "--cache-dir", cache_dir,
+                     "--jobs", "1"]) == 0
+
     def test_ablations_jobs_invariance(self):
         """Every ablation is identical with --jobs 1 and --jobs 4."""
         from repro.experiments.ablations import run_all_ablations

@@ -1,9 +1,11 @@
 """Golden-number regression suite (marker ``golden``, tier-1).
 
 Freezes the per-(app, machine) speedup/latency numbers of the quick
-Figure 1/6/7/8 runs, the quick trace-length overhead sweep (figscale)
-plus all five ablations (homing, routing, binding, purge anatomy,
-replication) in ``tests/golden/figures_quick.json`` and
+Figure 1/6/7/8 runs, the quick trace-length overhead sweep (figscale),
+the quick attack grid (figattack), the quick served-population
+percentile sweep (figpop) plus all five ablations (homing, routing,
+binding, purge anatomy, replication) in
+``tests/golden/figures_quick.json`` and
 asserts **bit-exact** equality on both replay engines.  Any drift means
 the performance model changed: if intentional, bump
 ``repro.experiments.store.MODEL_VERSION`` and refresh with
@@ -77,6 +79,22 @@ def test_figscale_bit_exact(golden, measured):
     (scales, per-level normalized series and the derived counts)."""
     assert measured["figscale"] == golden["figscale"]
     assert golden["figscale"]["scales"] == [1.0, 2.0, 4.0, 8.0]
+
+
+def test_figpop_bit_exact(golden, measured):
+    """The served-population percentile sweep stays frozen on both
+    engines — and so does the tail story itself: under heavy skew the
+    per-crossing purge machines' p99/p50 splits wide open while
+    IRONHIDE's stays flat across the population."""
+    assert measured["figpop"] == golden["figpop"]
+    assert golden["figpop"]["sizes"] == [16, 64]
+    top_skew = golden["figpop"]["overheads"]["1.4"]
+    mi6_amp = top_skew["mi6"]["p99"][-1] / top_skew["mi6"]["p50"][-1]
+    ironhide_amp = (
+        top_skew["ironhide"]["p99"][-1] / top_skew["ironhide"]["p50"][-1]
+    )
+    assert mi6_amp > 2.0
+    assert ironhide_amp < 1.5
 
 
 def test_figattack_bit_exact(golden, measured):

@@ -160,37 +160,47 @@ class TestIronhideSpecifics:
 class TestRegistryCoverage:
     """Meta-test: registration alone must buy equivalence coverage."""
 
-    GATE = "test_full_machine_runs_identical"
+    GATES = (
+        "test_full_machine_runs_identical",
+        "test_population_mix_runs_identical",
+    )
 
     def test_every_machine_has_an_equivalence_gate(self, request):
-        """Every registered machine must appear in the scalar-vs-vector
+        """Every registered machine must appear in every scalar-vs-vector
         equivalence gate's parametrization.
 
         Fails when a machine is added to ``MACHINES`` without riding the
-        registry-driven ``machine_name`` fixture — i.e. when the
-        equivalence suite silently stops covering part of the registry.
-        Skips (rather than passes vacuously) when the equivalence suite
-        was not collected in this session.
+        registry-driven ``machine_name`` fixture — i.e. when an
+        equivalence gate (the fixed-mix one or the population-mix one)
+        silently stops covering part of the registry.  Skips (rather
+        than passes vacuously) when the equivalence suite was not
+        collected in this session.
         """
-        covered = set()
-        gate_collected = False
-        for item in request.session.items:
-            if self.GATE not in item.nodeid:
+        any_collected = False
+        for gate in self.GATES:
+            covered = set()
+            gate_collected = False
+            for item in request.session.items:
+                if gate not in item.nodeid:
+                    continue
+                gate_collected = True
+                callspec = getattr(item, "callspec", None)
+                if callspec is not None:
+                    covered.add(callspec.params.get("machine_name"))
+            if not gate_collected:
                 continue
-            gate_collected = True
-            callspec = getattr(item, "callspec", None)
-            if callspec is not None:
-                covered.add(callspec.params.get("machine_name"))
-        if not gate_collected:
+            any_collected = True
+            missing = set(MACHINES) - covered
+            assert not missing, (
+                f"registered machines missing from equivalence gate "
+                f"{gate}: {sorted(missing)}"
+            )
+        if not any_collected:
             pytest.skip(
-                "equivalence gate not collected in this session; run the "
+                "equivalence gates not collected in this session; run the "
                 "full suite (or tests/test_replay_equivalence.py) to check "
                 "registry coverage"
             )
-        missing = set(MACHINES) - covered
-        assert not missing, (
-            f"registered machines with no equivalence gate: {sorted(missing)}"
-        )
 
 
 class TestOsLevelBehaviour:

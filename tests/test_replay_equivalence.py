@@ -463,6 +463,36 @@ class TestMachineEquivalence:
             results[engine] = run_one(get_app("<AES, QUERY>"), machine_name, settings)
         assert results["scalar"] == results["vector"]
 
+    @pytest.mark.parametrize("pop_seed", (0, 7))
+    def test_population_mix_runs_identical(self, backend, machine_name, pop_seed):
+        """Served-population tuples must not depend on the engine either.
+
+        Samples the head of a skewed population and replays each user's
+        (app, trace_scale, interactions) tuple through the real
+        ``pop_pair`` unit executor on both engines — so the scaled
+        traces and per-user session lengths figpop serves ride the same
+        equivalence guarantee as the fixed mixes.  Parametrized over
+        the whole ``MACHINES`` registry via the shared ``machine_name``
+        fixture — the second gate the registry-coverage meta-test in
+        ``test_machines.py`` keys on.
+        """
+        from repro.experiments.sweep import execute_unit, population_unit
+        from repro.workloads.population import PopulationSpec, sample_population
+
+        users = sample_population(pop_seed, 2, PopulationSpec(skew=1.4))
+        for user in users:
+            unit = population_unit(
+                user.app, machine_name, user.trace_scale,
+                min(user.interactions, 4),
+            )
+            results = {}
+            for engine in ("scalar", "vector"):
+                settings = ExperimentSettings(
+                    config=SystemConfig.evaluation().with_engine(engine),
+                )
+                results[engine] = execute_unit(unit, settings)
+            assert results["scalar"] == results["vector"], user
+
     @pytest.mark.parametrize("machine", ALL_MACHINES)
     def test_fig6_mix_batched_identical(self, machine, calibration_cache):
         """Scalar per-interaction loop vs batched vector pipeline over

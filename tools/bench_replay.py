@@ -19,7 +19,11 @@ the vector engine — the trace-length sweep stresses long-trace
 bundles, so it guards a different axis than fig6.  With ``--figattack``
 it measures the cold ``figattack --quick`` wall time — the attack grid
 is dominated by harness-driven scalar replay and environment builds,
-an axis neither figure above touches.  With ``--sweep-overhead`` it
+an axis neither figure above touches.  With ``--figpop`` it measures
+the cold ``figpop --quick`` wall time — the served-population sweep is
+dominated by many short heterogeneous runs (dozens of distinct
+(app, scale, session) tuples), guarding the per-run setup cost the
+long-trace figures amortize away.  With ``--sweep-overhead`` it
 measures the fault-free per-unit scheduling tax of ``run_units``
 (store scan, fault consults, retry bookkeeping) against a bare
 ``execute_unit`` loop; ``--check`` fails if that tax exceeds 2% of the
@@ -29,14 +33,14 @@ baseline cold fig6 e2e time.
 repo root is the checked-in baseline); ``--history PATH`` additionally
 appends a timestamped snapshot line so per-PR perf trends accumulate.
 ``--check`` re-measures and exits non-zero if replay throughput, the
-fig6 e2e time, the figscale e2e time or the figattack e2e time
-regressed more than 25% against the checked-in baseline.
+fig6 e2e time, or the figscale/figattack/figpop e2e times regressed
+more than 25% against the checked-in baseline.
 
 Usage:
     PYTHONPATH=src python tools/bench_replay.py [--user N] [--os N]
                                                 [--repeats K] [--store]
                                                 [--e2e] [--figscale]
-                                                [--figattack]
+                                                [--figattack] [--figpop]
                                                 [--sweep-overhead]
                                                 [--json PATH]
                                                 [--history PATH] [--check]
@@ -230,6 +234,36 @@ def bench_figattack(repeats: int = 2) -> dict:
     return {"vector_s": round(best, 4)}
 
 
+def bench_figpop(repeats: int = 2) -> dict:
+    """Cold ``figpop --quick`` wall time on the vector engine.
+
+    Same hygiene as :func:`bench_e2e` — interned stores and the
+    trace-bundle cache are dropped per run — over the quick
+    served-population grid.  Its cost profile is many short
+    heterogeneous runs (one per distinct (app, scale, session) tuple
+    per machine), so it guards per-run setup cost — calibration,
+    context builds, small-bundle materialization — that the long-trace
+    figures amortize away.
+    """
+    from repro.experiments import store as store_mod
+    from repro.experiments.figpop import QUICK_SIZES, run_figpop
+    from repro.experiments.golden import quick_settings
+    from repro.sim.bundle import clear_bundle_cache
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        store_mod.reset_stores()
+        clear_bundle_cache()
+        settings = quick_settings("vector")
+        start = time.perf_counter()
+        run_figpop(settings, sizes=QUICK_SIZES, verbose=False)
+        best = min(best, time.perf_counter() - start)
+    store_mod.reset_stores()
+    clear_bundle_cache()
+    print(f"  e2e figpop --quick cold [vector ] {best:6.2f} s")
+    return {"vector_s": round(best, 4)}
+
+
 def bench_sweep_overhead(repeats: int = 3) -> dict:
     """Fault-free scheduler overhead of ``run_units`` per work unit.
 
@@ -329,6 +363,14 @@ def check_regressions(baseline: dict, current: dict) -> "list[str]":
             f"{(cur_fa / base_fa - 1) * 100:.0f}% above baseline "
             f"{base_fa:.2f}s"
         )
+    base_fp = baseline.get("figpop_e2e", {}).get("vector_s")
+    cur_fp = current.get("figpop_e2e", {}).get("vector_s")
+    if base_fp and cur_fp and cur_fp > base_fp * (1.0 + REGRESSION_THRESHOLD):
+        failures.append(
+            f"cold figpop --quick e2e {cur_fp:.2f}s is "
+            f"{(cur_fp / base_fp - 1) * 100:.0f}% above baseline "
+            f"{base_fp:.2f}s"
+        )
     cur_so = current.get("sweep_overhead")
     ref_e2e = baseline.get("e2e", {}).get("vector_s")
     if cur_so and ref_e2e:
@@ -364,6 +406,8 @@ def main(argv=None) -> int:
                         help="also measure cold figscale --quick (vector)")
     parser.add_argument("--figattack", action="store_true",
                         help="also measure cold figattack --quick (vector)")
+    parser.add_argument("--figpop", action="store_true",
+                        help="also measure cold figpop --quick (vector)")
     parser.add_argument("--sweep-overhead", action="store_true",
                         help="also measure fault-free run_units scheduler "
                              "overhead per work unit")
@@ -443,6 +487,8 @@ def main(argv=None) -> int:
             snapshot["figscale_e2e"] = bench_figscale(repeats=2)
         if baseline.get("figattack_e2e") or args.figattack:
             snapshot["figattack_e2e"] = bench_figattack(repeats=2)
+        if baseline.get("figpop_e2e") or args.figpop:
+            snapshot["figpop_e2e"] = bench_figpop(repeats=2)
         if baseline.get("sweep_overhead") or args.sweep_overhead:
             snapshot["sweep_overhead"] = bench_sweep_overhead(repeats=2)
         if not baseline.get("e2e"):
@@ -456,6 +502,10 @@ def main(argv=None) -> int:
         if not baseline.get("figattack_e2e"):
             print("WARNING: baseline has no 'figattack_e2e' section — "
                   "attack-grid e2e regressions are NOT guarded; refresh "
+                  "it with run_tiers.py --bench", file=sys.stderr)
+        if not baseline.get("figpop_e2e"):
+            print("WARNING: baseline has no 'figpop_e2e' section — "
+                  "population e2e regressions are NOT guarded; refresh "
                   "it with run_tiers.py --bench", file=sys.stderr)
         if not baseline.get("sweep_overhead"):
             print("WARNING: baseline has no 'sweep_overhead' section — "
@@ -478,6 +528,8 @@ def main(argv=None) -> int:
             snapshot["figscale_e2e"] = bench_figscale()
         if args.figattack:
             snapshot["figattack_e2e"] = bench_figattack()
+        if args.figpop:
+            snapshot["figpop_e2e"] = bench_figpop()
         if args.sweep_overhead:
             snapshot["sweep_overhead"] = bench_sweep_overhead()
 

@@ -24,7 +24,10 @@ reproduce the serially-collected golden numbers bit-exactly
 (``--skip-scale`` skips it).  An ``attack`` smoke phase does the same
 for the attack-channel grid
 (``python -m repro figattack --quick --jobs 2 --chunk 2
---check-golden``; ``--skip-attack`` skips it).
+--check-golden``; ``--skip-attack`` skips it), and a ``pop`` smoke
+phase for the served-population percentile sweep
+(``python -m repro figpop --quick --jobs 2 --chunk 2
+--check-golden``; ``--skip-pop`` skips it).
 
 A ``soak`` phase (``--skip-soak`` skips it) runs
 ``tools/soak_sweep.py``: repeated quick figscale sweeps over one
@@ -32,19 +35,22 @@ shared store directory under an active fault-injection plan (worker
 crashes, injected unit exceptions, corrupted reads, one ENOSPC) must
 converge to payloads and store contents bit-identical to a fault-free
 serial baseline, with the corrupt entries quarantined and a clean
-final store audit.
+final store audit — followed by the steady-state service loop
+(population batches on one LRU-capped store; hit-rate plateau,
+bounded RSS, clean audit).
 
 Perf is guarded too: unless ``--skip-bench-check`` is given, a final
 phase runs ``bench_replay.py --check``, which fails if replay
-throughput, the cold ``fig6 --quick`` end-to-end time, the cold
-``figscale --quick`` end-to-end time or the cold ``figattack --quick``
-end-to-end time regressed >25% against the checked-in
+throughput, the cold ``fig6 --quick`` end-to-end time, or the cold
+``figscale``/``figattack``/``figpop`` ``--quick`` end-to-end times
+regressed >25% against the checked-in
 ``BENCH_replay.json`` — or if the fault-free retry-bookkeeping
 overhead of ``run_units`` exceeds 2% of the cold quick fig6 e2e time.
 With ``--bench`` the benchmark instead records a fresh
 ``BENCH_replay.json`` snapshot (including the e2e, figscale,
-figattack and sweep-overhead numbers) and appends a timestamped line
-to ``BENCH_history.jsonl``, so the per-PR perf trajectory accumulates.
+figattack, figpop and sweep-overhead numbers) and appends a
+timestamped line to ``BENCH_history.jsonl``, so the per-PR perf
+trajectory accumulates.
 
 With ``--sanitize``, an opt-in phase re-runs the equivalence suite
 over sanitizer-instrumented native kernels
@@ -55,7 +61,7 @@ toolchain lacks working sanitizers.
 
 Usage:
     python tools/run_tiers.py [--bench] [--sanitize] [--skip-tier1]
-                              [--skip-scale] [--skip-attack]
+                              [--skip-scale] [--skip-attack] [--skip-pop]
                               [--skip-soak] [--skip-bench-check]
 """
 
@@ -278,6 +284,8 @@ def main(argv=None) -> int:
                         help="skip the chunked-pool figscale smoke phase")
     parser.add_argument("--skip-attack", action="store_true",
                         help="skip the chunked-pool figattack smoke phase")
+    parser.add_argument("--skip-pop", action="store_true",
+                        help="skip the chunked-pool figpop smoke phase")
     parser.add_argument("--skip-soak", action="store_true",
                         help="skip the fault-injection soak phase")
     parser.add_argument("--skip-bench-check", action="store_true",
@@ -321,6 +329,18 @@ def main(argv=None) -> int:
                  "--chunk", "2", "--check-golden"],
             )
         )
+    if not args.skip_pop:
+        # Population smoke: the served-population percentile sweep must
+        # complete over the same chunked pool and match its golden
+        # section bit-exactly.
+        print("\n=== pop ===")
+        phases.append(
+            run_phase(
+                "pop",
+                ["-m", "repro", "figpop", "--quick", "--jobs", "2",
+                 "--chunk", "2", "--check-golden"],
+            )
+        )
     if not args.skip_soak:
         # Fault-injection soak: repeated faulted sweeps on one shared
         # store must converge bit-identically to a fault-free baseline
@@ -338,7 +358,7 @@ def main(argv=None) -> int:
             run_phase(
                 "bench",
                 [str(REPO / "tools" / "bench_replay.py"), "--store", "--e2e",
-                 "--figscale", "--figattack", "--sweep-overhead",
+                 "--figscale", "--figattack", "--figpop", "--sweep-overhead",
                  "--json", str(REPO / "BENCH_replay.json"),
                  "--history", str(REPO / "BENCH_history.jsonl")],
             )

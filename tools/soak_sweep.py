@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Soak tier: repeated faulted quick sweeps must converge bit-exactly.
 
-This is the chaos-equivalence gate for the fault-tolerance layer.  It
+This is the chaos-equivalence gate for the fault-tolerance layer plus
+a steady-state **service loop** for the caching stack.  The chaos gate
 runs the quick ``figscale`` sweep twice over:
 
 1. **Baseline** — serial, fault-free, into its own store directory.
@@ -26,12 +27,34 @@ and at the end that
   (no invalid entries, no orphaned tmp files),
 * resident-set growth across the loop stays under ``--rss-limit-mb``.
 
+The **service loop** (``--service-iterations``, skip with
+``--skip-service``) then models the capacity-planning service in
+steady state: it repeatedly serves the same served-population batches
+(:mod:`repro.experiments.figpop` quick populations, both skews)
+against one shared store capped by a deliberately small
+``--service-cache-max-mb``, so the store's mtime-LRU eviction and the
+bounded bundle cache both churn continuously.  Each iteration starts
+cold in memory but warm on disk, like repeated CLI invocations.  The
+gate asserts the loop reaches steady state rather than degrading:
+
+* warm iterations keep hitting the store (hits > 0) and their
+  hit-rates **plateau** (spread across warm iterations stays under
+  ``--service-plateau``),
+* the cap demonstrably forces eviction (warm iterations still write:
+  evicted entries are re-run and re-persisted),
+* disk usage stays under the cap, nothing valid is ever quarantined,
+  and the final :meth:`ResultStore.verify` audit is clean,
+* the bundle cache never outgrows its cold-iteration footprint, and
+  resident-set growth stays under ``--rss-limit-mb``.
+
 Wall-clock use here is fine: this is a tools/ harness; nothing it
 measures feeds a result or a cache key.
 
 Usage:
     PYTHONPATH=src python tools/soak_sweep.py [--iterations N]
         [--faults SPEC] [--seed S] [--rss-limit-mb MB] [--keep]
+        [--service-iterations N] [--service-cache-max-mb MB]
+        [--service-plateau F] [--skip-service]
 """
 
 from __future__ import annotations
@@ -117,6 +140,125 @@ def store_entries(root: Path) -> dict:
     return out
 
 
+#: Population batches one service iteration serves: the figpop quick
+#: skews at a small batch size, so the loop stays seconds-per-iteration
+#: while still spanning dozens of distinct (app, scale, session) units.
+SERVICE_BATCH_SIZE = 16
+
+
+def run_service_batches(settings) -> dict:
+    """Serve one iteration's population batches; returns the payload."""
+    from repro.experiments.figpop import SKEWS, run_figpop
+
+    data = run_figpop(
+        settings, sizes=(SERVICE_BATCH_SIZE,), skews=SKEWS, verbose=False
+    )
+    return json.loads(json.dumps(data.as_payload()))
+
+
+def run_service_loop(args, service_dir: Path) -> list:
+    """Steady-state service loop; returns the failure list.
+
+    Serves the same population batches ``--service-iterations`` times
+    against one store capped at ``--service-cache-max-mb``, asserting
+    hit-rate plateau, forced-but-clean LRU eviction, a bounded bundle
+    cache, bounded RSS and a clean final audit (see module docstring).
+    """
+    from repro.experiments.store import ResultStore, get_store
+    from repro.sim.bundle import bundle_cache_size
+
+    failures = []
+    hit_rates = []
+    warm_writes = 0
+    bundle_cold = None
+    cap_bytes = int(args.service_cache_max_mb * 1024 * 1024)
+    print(f"[service] {args.service_iterations} iterations of figpop "
+          f"batches ({SERVICE_BATCH_SIZE} users/skew) -> {service_dir} "
+          f"(cap {args.service_cache_max_mb:g} MB)")
+    rss_start = rss_mb()
+    baseline_payload = None
+    for iteration in range(1, args.service_iterations + 1):
+        reset_process_caches()
+        settings = fresh_settings(args.seed, service_dir)
+        settings.cache_max_mb = args.service_cache_max_mb
+        start = time.perf_counter()
+        payload = run_service_batches(settings)
+        elapsed = time.perf_counter() - start
+        stats = get_store(str(service_dir)).stats
+        total = stats.hits + stats.misses
+        hit_rate = stats.hits / total if total else 0.0
+        hit_rates.append(hit_rate)
+        disk_bytes = sum(
+            p.stat().st_size for p in service_dir.rglob("*.json")
+            if not p.relative_to(service_dir).as_posix().startswith(
+                ("quarantine/", "fault-tokens/"))
+        )
+        bundles = bundle_cache_size()
+        print(f"[service] iter {iteration}/{args.service_iterations}: "
+              f"{elapsed:.1f}s, hit-rate {hit_rate:.2f} "
+              f"({stats.hits}/{total}), {stats.writes} writes, "
+              f"disk {disk_bytes / 1024:.0f} KB, {bundles} bundles, "
+              f"rss {rss_mb():.0f} MB")
+        if iteration == 1:
+            baseline_payload = payload
+            bundle_cold = bundles
+            if stats.writes == 0:
+                failures.append("cold service iteration wrote nothing")
+        else:
+            warm_writes += stats.writes
+            if payload != baseline_payload:
+                failures.append(
+                    f"service iteration {iteration} payload diverged"
+                )
+            if stats.hits == 0:
+                failures.append(
+                    f"service iteration {iteration} never hit the store"
+                )
+            if bundle_cold is not None and bundles > bundle_cold:
+                failures.append(
+                    f"bundle cache grew past its cold footprint "
+                    f"({bundles} > {bundle_cold})"
+                )
+        if stats.quarantined:
+            failures.append(
+                f"service iteration {iteration} quarantined "
+                f"{stats.quarantined} valid entries"
+            )
+        if disk_bytes > cap_bytes:
+            failures.append(
+                f"store exceeded its cap after iteration {iteration} "
+                f"({disk_bytes} > {cap_bytes} bytes)"
+            )
+    if args.service_iterations >= 2 and warm_writes == 0:
+        failures.append(
+            "the cap never forced an eviction (warm iterations wrote "
+            "nothing); lower --service-cache-max-mb"
+        )
+    warm_rates = hit_rates[1:]
+    if len(warm_rates) >= 2:
+        spread = max(warm_rates) - min(warm_rates)
+        if spread > args.service_plateau:
+            failures.append(
+                f"hit-rate never plateaued: warm spread {spread:.2f} > "
+                f"{args.service_plateau:g}"
+            )
+        else:
+            print(f"[service] steady state: warm hit-rates "
+                  f"{[f'{r:.2f}' for r in warm_rates]} "
+                  f"(spread {spread:.2f})")
+    rss_growth = rss_mb() - rss_start
+    if rss_growth > args.rss_limit_mb:
+        failures.append(
+            f"service RSS grew {rss_growth:.0f} MB over the loop "
+            f"(limit {args.rss_limit_mb:.0f} MB)"
+        )
+    audit = ResultStore(service_dir).verify()
+    print(f"[service] final store audit: {audit}")
+    if audit["invalid"] or audit["tmp"] or audit["quarantined"]:
+        failures.append(f"final service store is not clean: {audit}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--iterations", type=int, default=3,
@@ -129,6 +271,17 @@ def main(argv=None) -> int:
                         help="max allowed resident-set growth across the loop")
     parser.add_argument("--keep", action="store_true",
                         help="keep the scratch directories for inspection")
+    parser.add_argument("--service-iterations", type=int, default=3,
+                        help="steady-state service-loop iterations "
+                             "(population batches on one capped store)")
+    parser.add_argument("--service-cache-max-mb", type=float, default=0.12,
+                        help="store cap for the service loop; small on "
+                             "purpose so LRU eviction churns in steady state")
+    parser.add_argument("--service-plateau", type=float, default=0.25,
+                        help="max allowed hit-rate spread across warm "
+                             "service iterations (the plateau assertion)")
+    parser.add_argument("--skip-service", action="store_true",
+                        help="run only the chaos-equivalence gate")
     args = parser.parse_args(argv)
 
     from repro import faults as faults_mod
@@ -213,10 +366,16 @@ def main(argv=None) -> int:
         if audit["invalid"] or audit["tmp"]:
             failures.append(f"final store is not clean: {audit}")
 
+        if not args.skip_service:
+            failures.extend(run_service_loop(args, scratch / "service-store"))
+
         for failure in failures:
             print(f"SOAK: {failure}", file=sys.stderr)
         if not failures:
             print("[soak] OK: faulted sweeps converged to a clean, "
+                  "bit-identical store; service loop reached steady state"
+                  if not args.skip_service else
+                  "[soak] OK: faulted sweeps converged to a clean, "
                   "bit-identical store")
         return 1 if failures else 0
     finally:
